@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ABL3 — ablation of cache-line size on shared-memory volume.
+ *
+ * Section 5.1 notes that shared memory's volume disadvantage "would be
+ * lower for systems with a larger cache line size for most
+ * applications". Sweep 16/32/64-byte lines and report SM volume and
+ * runtime against the (line-size-independent) MP baseline.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const auto factory = apps::Em3d::factory(bench::em3dParams(scale));
+
+    std::cout << "ABL3: cache-line size vs shared-memory volume "
+                 "(EM3D)\n\n";
+    std::cout << std::left << std::setw(12) << "line-bytes"
+              << std::right << std::setw(14) << "SM volume"
+              << std::setw(14) << "SM runtime" << std::setw(14)
+              << "SM/MP vol" << '\n';
+
+    core::RunSpec mp_spec;
+    mp_spec.mechanism = core::Mechanism::MpInterrupt;
+    const auto mp = core::runApp(factory, mp_spec);
+
+    for (std::uint32_t line : {16u, 32u, 64u}) {
+        MachineConfig cfg;
+        cfg.lineBytes = line;
+        core::RunSpec spec;
+        spec.machine = cfg;
+        spec.mechanism = core::Mechanism::SharedMemory;
+        const auto r = core::runApp(factory, spec);
+        std::cout << std::left << std::setw(12) << line << std::right
+                  << std::setw(14) << r.volume.total() << std::fixed
+                  << std::setprecision(0) << std::setw(14)
+                  << r.runtimeCycles << std::setw(14)
+                  << std::setprecision(2)
+                  << static_cast<double>(r.volume.total())
+                         / static_cast<double>(mp.volume.total())
+                  << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ABL4 — extension: relaxed-consistency write buffering.
+ *
+ * Section 2 of the paper names relaxed memory models as the other
+ * technique (besides prefetching) for tolerating latency under shared
+ * memory. This ablation measures it directly: one producer scatters N
+ * stores to remote lines, either with sequentially consistent writes
+ * (stall per store) or with non-blocking writes retired through a
+ * small write window plus a final release fence, across emulated
+ * network latencies.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "machine/machine.hh"
+
+using namespace alewife;
+
+namespace {
+
+struct Probe
+{
+    Addr arr = 0;
+    int stores = 64;
+    bool relaxed = false;
+    double cycles = 0.0;
+};
+
+sim::Thread
+producer(proc::Ctx &ctx, Probe &pr)
+{
+    if (ctx.self() != 0)
+        co_return;
+    const Tick t0 = ctx.proc().localNow();
+    for (int i = 0; i < pr.stores; ++i) {
+        // One store per remote line, round-robin over homes 1..N-1.
+        const Addr a = pr.arr + static_cast<Addr>(i) * 16;
+        if (pr.relaxed)
+            co_await ctx.writeNBD(a, 1.5 * i);
+        else
+            co_await ctx.writeD(a, 1.5 * i);
+        co_await ctx.compute(10);
+    }
+    if (pr.relaxed)
+        co_await ctx.fence();
+    pr.cycles = ticksToCycles(ctx.proc().localNow() - t0);
+}
+
+double
+run(double latency, bool relaxed, int window)
+{
+    MachineConfig cfg;
+    cfg.idealNet = true;
+    cfg.idealNetLatencyCycles = latency;
+    cfg.maxOutstandingWrites = window;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    Probe pr;
+    pr.relaxed = relaxed;
+    pr.arr = m.mem().alloc(
+        static_cast<std::uint64_t>(pr.stores) * 2,
+        mem::HomePolicy::Interleaved, 0, "abl4");
+    m.run([&pr](proc::Ctx &ctx) { return producer(ctx, pr); });
+
+    // Writes must all have retired to memory.
+    for (int i = 0; i < pr.stores; ++i) {
+        const double v =
+            m.debugDouble(pr.arr + static_cast<Addr>(i) * 16);
+        if (v != 1.5 * i) {
+            std::cerr << "verification failed at " << i << "\n";
+            std::exit(1);
+        }
+    }
+    return pr.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "ABL4: sequentially consistent vs non-blocking "
+                 "writes (64 remote stores + fence)\n\n";
+    std::cout << std::left << std::setw(14) << "latency" << std::right
+              << std::setw(12) << "SC" << std::setw(12) << "NB(w=4)"
+              << std::setw(12) << "NB(w=16)" << std::setw(12)
+              << "speedup" << '\n';
+
+    for (double lat : {15.0, 50.0, 100.0, 200.0}) {
+        const double sc = run(lat, false, 4);
+        const double nb4 = run(lat, true, 4);
+        const double nb16 = run(lat, true, 16);
+        std::cout << std::left << std::setw(14) << lat << std::right
+                  << std::fixed << std::setprecision(0) << std::setw(12)
+                  << sc << std::setw(12) << nb4 << std::setw(12)
+                  << nb16 << std::setw(12) << std::setprecision(2)
+                  << sc / nb16 << '\n';
+    }
+    std::cout << "\nNon-blocking writes overlap store round-trips, "
+                 "recovering most of the latency a sequentially\n"
+                 "consistent processor exposes — the relaxed-"
+                 "consistency effect the paper's Section 2 describes.\n";
+    return 0;
+}

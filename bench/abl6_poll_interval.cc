@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ABL6 — ablation of the poll-insertion interval (Section 4.4.3's
+ * conservatism trade-off: "bursty traffic forces us to be conservative
+ * when inserting polling calls").
+ *
+ * Sweeping the number of inner-loop work items between user-inserted
+ * poll points in the polling variants: polling too often wastes
+ * processor cycles on empty checks; polling too rarely lets the NI
+ * input queue fill, parking packets in the network (tree saturation).
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+
+    std::cout << "ABL6: poll-insertion interval vs runtime (MP-P)\n\n";
+    std::cout << std::left << std::setw(10) << "gap" << std::right
+              << std::setw(14) << "UNSTRUC" << std::setw(12)
+              << "niFull" << std::setw(14) << "MOLDYN" << std::setw(12)
+              << "niFull" << '\n';
+
+    const auto unstruc =
+        apps::Unstruc::factory(bench::unstrucParams(scale));
+    const auto moldyn =
+        apps::Moldyn::factory(bench::moldynParams(scale));
+
+    for (int gap : {1, 4, 16, 64, 1 << 20}) {
+        MachineConfig cfg;
+        cfg.pollInsertionGap = gap;
+        core::RunSpec spec;
+        spec.machine = cfg;
+        spec.mechanism = core::Mechanism::MpPolling;
+        const auto ru = core::runApp(unstruc, spec);
+        const auto rm = core::runApp(moldyn, spec);
+        std::cout << std::left << std::setw(10)
+                  << (gap >= (1 << 20) ? std::string("never")
+                                       : std::to_string(gap))
+                  << std::right << std::fixed << std::setprecision(0)
+                  << std::setw(14) << ru.runtimeCycles << std::setw(12)
+                  << ru.counters.niQueueFullStalls << std::setw(14)
+                  << rm.runtimeCycles << std::setw(12)
+                  << rm.counters.niQueueFullStalls << '\n';
+    }
+    std::cout << "\nAt this load the runtime stays nearly flat — the "
+                 "NI queue absorbs the bursts — but the\nniFull column "
+                 "shows packets parking in the network as polls grow "
+                 "rare: latent tree\nsaturation that turns into real "
+                 "slowdown once handlers or the network are loaded\n"
+                 "(see ABL1). That asymmetric risk is why the paper "
+                 "polls conservatively in MOLDYN.\n";
+    return 0;
+}

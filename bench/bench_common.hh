@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ *
+ * Every bench prints the rows or series of one paper artifact. The
+ * workload sizes are scaled down from the paper's (the simulator runs
+ * every protocol event of every run), but preserve the structural
+ * ratios that drive the results; pass --full for sizes closer to the
+ * paper's, --quick for smoke-test sizes.
+ */
+
+#ifndef ALEWIFE_BENCH_COMMON_HH
+#define ALEWIFE_BENCH_COMMON_HH
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/em3d.hh"
+#include "apps/iccg.hh"
+#include "apps/moldyn.hh"
+#include "apps/stream.hh"
+#include "apps/unstruc.hh"
+#include "core/experiments.hh"
+#include "core/report.hh"
+
+namespace alewife::bench {
+
+/** Workload scale selected on the command line. */
+enum class Scale
+{
+    Quick,
+    Default,
+    Full,
+};
+
+inline Scale
+parseScale(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return Scale::Quick;
+        if (std::strcmp(argv[i], "--full") == 0)
+            return Scale::Full;
+    }
+    return Scale::Default;
+}
+
+inline apps::Em3d::Params
+em3dParams(Scale s)
+{
+    apps::Em3d::Params p;
+    switch (s) {
+      case Scale::Quick:
+        p.graph.nodesPerSide = 512;
+        p.graph.degree = 6;
+        p.iters = 2;
+        break;
+      case Scale::Default:
+        p.graph.nodesPerSide = 2000;
+        p.graph.degree = 8;
+        p.iters = 3;
+        break;
+      case Scale::Full:
+        p.graph.nodesPerSide = 10000; // the paper's parameters
+        p.graph.degree = 10;
+        p.iters = 10;
+        break;
+    }
+    return p;
+}
+
+inline apps::Unstruc::Params
+unstrucParams(Scale s)
+{
+    apps::Unstruc::Params p;
+    switch (s) {
+      case Scale::Quick:
+        p.mesh.nodes = 600;
+        p.iters = 2;
+        break;
+      case Scale::Default:
+        p.mesh.nodes = 2000; // MESH2K size
+        p.iters = 2;
+        break;
+      case Scale::Full:
+        p.mesh.nodes = 2000;
+        p.iters = 6;
+        break;
+    }
+    return p;
+}
+
+inline apps::Iccg::Params
+iccgParams(Scale s)
+{
+    apps::Iccg::Params p;
+    switch (s) {
+      case Scale::Quick:
+        p.matrix.rows = 800;
+        break;
+      case Scale::Default:
+        p.matrix.rows = 2000;
+        break;
+      case Scale::Full:
+        p.matrix.rows = 8000;
+        break;
+    }
+    return p;
+}
+
+inline apps::Moldyn::Params
+moldynParams(Scale s)
+{
+    apps::Moldyn::Params p;
+    switch (s) {
+      case Scale::Quick:
+        p.box.molecules = 512;
+        p.box.cutoff = 1.3;
+        p.iters = 1;
+        break;
+      case Scale::Default:
+        p.box.molecules = 1024;
+        p.box.cutoff = 1.4;
+        p.iters = 2;
+        break;
+      case Scale::Full:
+        p.box.molecules = 2048;
+        p.box.cutoff = 1.5;
+        p.iters = 4;
+        break;
+    }
+    return p;
+}
+
+/** The four paper applications as (name, factory) pairs. */
+inline std::vector<std::pair<std::string, core::AppFactory>>
+paperApps(Scale s)
+{
+    return {
+        {"EM3D", apps::Em3d::factory(em3dParams(s))},
+        {"UNSTRUC", apps::Unstruc::factory(unstrucParams(s))},
+        {"ICCG", apps::Iccg::factory(iccgParams(s))},
+        {"MOLDYN", apps::Moldyn::factory(moldynParams(s))},
+    };
+}
+
+/** All five mechanisms as a vector. */
+inline std::vector<core::Mechanism>
+allMechs()
+{
+    const auto a = core::allMechanisms();
+    return {a.begin(), a.end()};
+}
+
+} // namespace alewife::bench
+
+#endif // ALEWIFE_BENCH_COMMON_HH

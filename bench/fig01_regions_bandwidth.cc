@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FIG1 — map the conceptual regions of Figure 1: runtime as bisection
+ * bandwidth varies, for shared memory versus message passing on a
+ * producer-consumer microbenchmark.
+ *
+ * The three expected regions: latency hiding (flat), latency dominated
+ * (linear growth), congestion dominated (super-linear growth). Shared
+ * memory leaves the flat region earlier because it moves several times
+ * the bytes.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    apps::Stream::Params sp;
+    sp.valuesPerIter = 96;
+    sp.iters = scale == bench::Scale::Quick ? 3 : 6;
+    sp.computePerValue = 8.0; // little slackness: bandwidth matters
+
+    std::vector<double> bisections = {18, 14, 10, 7, 5, 3, 2};
+    if (scale == bench::Scale::Quick)
+        bisections = {18, 7, 2};
+
+    std::cout << "FIG1: regions of performance as bisection bandwidth "
+                 "varies (stream microbenchmark)\n\n";
+
+    const auto series = core::bisectionSweep(
+        apps::Stream::factory(sp), base,
+        {core::Mechanism::SharedMemory, core::Mechanism::MpInterrupt,
+         core::Mechanism::BulkTransfer},
+        bisections, 64);
+    core::printSeries(std::cout, "STREAM", "bisection B/cyc", series);
+
+    // Region classification: relative growth between sweep points.
+    std::cout << "region view (ratio to native-bisection runtime):\n";
+    for (const auto &s : series) {
+        std::cout << "  " << core::mechanismShortName(s.mech) << ":";
+        const double baseline = s.points.front().result.runtimeCycles;
+        for (const auto &pt : s.points) {
+            std::cout << "  " << std::fixed << std::setprecision(2)
+                      << pt.result.runtimeCycles / baseline;
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

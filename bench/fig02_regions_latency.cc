@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FIG2 — map the conceptual regions of Figure 2: runtime as network
+ * latency varies, for shared memory (round-trip, stalls under
+ * sequential consistency), shared memory with prefetch (partial
+ * hiding), and message passing (one-way, best hiding).
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    apps::Stream::Params sp;
+    sp.valuesPerIter = 64;
+    sp.iters = scale == bench::Scale::Quick ? 3 : 6;
+    sp.computePerValue = 12.0;
+
+    std::vector<double> lat = {10, 20, 40, 80, 160, 320};
+    if (scale == bench::Scale::Quick)
+        lat = {10, 80, 320};
+
+    std::cout << "FIG2: regions of performance as network latency "
+                 "varies (stream microbenchmark, ideal network)\n\n";
+
+    const auto series = core::idealLatencySweep(
+        apps::Stream::factory(sp), base,
+        {core::Mechanism::SharedMemory,
+         core::Mechanism::SharedMemoryPrefetch,
+         core::Mechanism::MpInterrupt},
+        lat);
+    core::printSeries(std::cout, "STREAM", "latency (cyc)", series);
+
+    std::cout << "slopes (cycles of runtime per cycle of latency, "
+                 "last segment):\n";
+    for (const auto &s : series) {
+        const auto &p = s.points;
+        const double slope =
+            (p.back().result.runtimeCycles
+             - p[p.size() - 2].result.runtimeCycles)
+            / (p.back().x - p[p.size() - 2].x);
+        std::cout << "  " << core::mechanismShortName(s.mech) << ": "
+                  << std::fixed << std::setprecision(1) << slope
+                  << '\n';
+    }
+    return 0;
+}

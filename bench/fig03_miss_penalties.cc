@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FIG3 — regenerate the Figure 3 cost table: measured shared-memory
+ * miss penalties and active-message costs on the simulated Alewife,
+ * next to the paper's published numbers.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "machine/machine.hh"
+
+using namespace alewife;
+
+namespace {
+
+struct Probe
+{
+    Addr a = 0;
+    double cycles = 0.0;
+    int warm = -1;
+    int sharers = 0;
+};
+
+double
+measureRead(MachineConfig cfg, NodeId home, int warm_writer,
+            int sharers)
+{
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    Probe pr;
+    pr.a = m.mem().alloc(2, mem::HomePolicy::Fixed, home);
+    pr.warm = warm_writer;
+    pr.sharers = sharers;
+    auto prog = [&pr](proc::Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == pr.warm) {
+            co_await ctx.writeD(pr.a, 1.0);
+        } else if (ctx.self() >= 2 && ctx.self() < 2 + pr.sharers) {
+            co_await ctx.compute(100.0 * ctx.self());
+            co_await ctx.read(pr.a);
+        } else if (ctx.self() == 0) {
+            co_await ctx.compute(9000);
+            const Tick t0 = ctx.proc().localNow();
+            co_await ctx.read(pr.a);
+            pr.cycles = ticksToCycles(ctx.proc().localNow() - t0);
+        }
+        co_return;
+    };
+    m.run(prog);
+    return pr.cycles;
+}
+
+double
+measureWrite(MachineConfig cfg, NodeId home, int sharers)
+{
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    Probe pr;
+    pr.a = m.mem().alloc(2, mem::HomePolicy::Fixed, home);
+    pr.sharers = sharers;
+    auto prog = [&pr](proc::Ctx &ctx) -> sim::Thread {
+        if (ctx.self() >= 2 && ctx.self() < 2 + pr.sharers) {
+            co_await ctx.read(pr.a);
+        } else if (ctx.self() == 0) {
+            co_await ctx.compute(9000);
+            const Tick t0 = ctx.proc().localNow();
+            co_await ctx.writeD(pr.a, 2.0);
+            pr.cycles = ticksToCycles(ctx.proc().localNow() - t0);
+        }
+        co_return;
+    };
+    m.run(prog);
+    return pr.cycles;
+}
+
+void
+row(const char *what, double measured, const char *paper)
+{
+    std::cout << "  " << std::left << std::setw(34) << what
+              << std::right << std::setw(9) << std::fixed
+              << std::setprecision(1) << measured << std::setw(14)
+              << paper << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig cfg;
+    std::cout << "FIG3: Alewife cost table — measured vs paper\n";
+    std::cout << "  " << std::left << std::setw(34) << "operation"
+              << std::right << std::setw(9) << "cycles" << std::setw(14)
+              << "paper" << '\n';
+
+    row("local read miss", measureRead(cfg, 0, -1, 0), "11");
+    row("remote read miss, clean (1 hop)", measureRead(cfg, 1, -1, 0),
+        "38-42");
+    row("remote read miss, dirty", measureRead(cfg, 1, 5, 0), "63");
+    row("remote write miss, unshared", measureWrite(cfg, 1, 0),
+        "38-43");
+    row("remote write miss, 2 parties", measureWrite(cfg, 1, 1), "66");
+    row("remote write miss, 3 parties", measureWrite(cfg, 1, 2), "84");
+    row("remote read, LimitLESS (11 shrs)",
+        measureRead(cfg, 1, -1, 11), "425");
+    row("remote write, LimitLESS (11 shrs)", measureWrite(cfg, 1, 11),
+        "707");
+
+    std::cout << "  " << std::left << std::setw(34)
+              << "1-way 24B packet latency" << std::right
+              << std::setw(9)
+              << cfg.onewayLatencyCycles(
+                     24, static_cast<int>(cfg.averageHops() + 0.5))
+              << std::setw(14) << "15" << '\n';
+    std::cout << "  " << std::left << std::setw(34)
+              << "bisection bytes/cycle" << std::right << std::setw(9)
+              << cfg.bisectionBytesPerCycle() << std::setw(14) << "18"
+              << '\n';
+    return 0;
+}

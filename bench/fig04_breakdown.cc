@@ -1,0 +1,30 @@
+/**
+ * @file
+ * FIG4 — regenerate Figure 4: execution-time breakdown of all four
+ * applications under all five mechanisms on the unmodified Alewife
+ * design point. Runtime is in processor cycles; the four columns are
+ * the paper's compute / memory+NI-wait / message-overhead / sync split.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    std::cout << "FIG4: execution-time breakdowns on Alewife ("
+              << base.nodes() << " nodes, " << base.procMhz << " MHz)\n\n";
+
+    for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto results = core::runAllMechanisms(
+            factory, base, bench::allMechs());
+        core::printBreakdownTable(std::cout, name, results);
+        for (const auto &r : results)
+            core::printCounters(std::cout, r);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * FIG5 — regenerate Figure 5: communication volume injected into the
+ * network by each mechanism, broken into invalidates / requests /
+ * headers / data. The headline shape: shared memory moves several
+ * times the bytes of message passing on the same application, and
+ * interrupts vs polling move identical volume.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    std::cout << "FIG5: communication volume breakdowns\n\n";
+
+    for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto results = core::runAllMechanisms(
+            factory, base, bench::allMechs());
+        core::printVolumeTable(std::cout, name, results);
+        // The SM : MP volume ratio the paper highlights (up to ~6x).
+        const double sm =
+            static_cast<double>(results[0].volume.total());
+        const double mp =
+            static_cast<double>(results[2].volume.total());
+        std::cout << "  SM/MP volume ratio: " << sm / mp << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FIG7 — regenerate Figure 7: sensitivity of the bisection-emulation
+ * methodology to the cross-traffic message length. The same bandwidth
+ * is consumed with messages from 16 to 512 bytes; small messages
+ * emulate a uniformly-lowered bisection, large ones add burstiness.
+ * The paper picks 64 bytes as the compromise.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    std::vector<std::uint32_t> lens = {16, 32, 64, 128, 256, 512};
+    if (scale == bench::Scale::Quick)
+        lens = {16, 64, 512};
+
+    // Consume half of Alewife's bisection (18 -> 9 bytes/cycle).
+    const double consumed = base.bisectionBytesPerCycle() / 2.0;
+
+    std::cout << "FIG7: sensitivity to cross-traffic message length\n"
+              << "(consuming " << consumed
+              << " bytes/cycle of bisection; EM3D)\n\n";
+
+    const auto factory =
+        apps::Em3d::factory(bench::em3dParams(scale));
+    const auto series = core::msgLenSweep(
+        factory, base,
+        {core::Mechanism::SharedMemory, core::Mechanism::MpInterrupt},
+        consumed, lens);
+    core::printSeries(std::cout, "EM3D", "cross msg bytes", series);
+    return 0;
+}

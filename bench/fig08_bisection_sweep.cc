@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FIG8 — regenerate Figure 8: execution time (processor cycles) versus
+ * bisection bandwidth, emulated by injecting 64-byte I/O cross-traffic
+ * over the mesh bisection exactly as in Section 5.2. Alewife's native
+ * point is 18 bytes/cycle; the paper's finding is that shared-memory
+ * performance degrades much faster than message passing as bisection
+ * shrinks, producing a crossover.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    std::vector<double> bisections = {18.0, 14.0, 10.0, 7.0, 5.0, 3.5};
+    if (scale == bench::Scale::Quick)
+        bisections = {18.0, 10.0, 5.0};
+
+    std::cout << "FIG8: runtime (cycles) vs effective bisection "
+                 "bandwidth (bytes/cycle), 64-byte cross-traffic\n\n";
+
+    for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto series = core::bisectionSweep(
+            factory, base, bench::allMechs(), bisections, 64);
+        core::printSeries(std::cout, name, "bisection B/cyc", series);
+
+        // Report the SM-vs-MP crossover, if the sweep reaches it.
+        const auto &sm = series[0].points;
+        const auto &mp = series[2].points;
+        double crossover = -1.0;
+        for (std::size_t i = 0; i < sm.size(); ++i) {
+            if (sm[i].result.runtimeCycles
+                > mp[i].result.runtimeCycles) {
+                crossover = sm[i].x;
+            }
+        }
+        if (crossover > 0.0) {
+            std::cout << "  SM falls behind MP-I at <= " << crossover
+                      << " bytes/cycle\n";
+        } else {
+            std::cout << "  no SM/MP crossover in this range\n";
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

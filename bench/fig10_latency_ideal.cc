@@ -1,0 +1,48 @@
+/**
+ * @file
+ * FIG10 — regenerate Figure 10: network latencies emulated with the
+ * context-switching trick — every remote access sees a uniform latency
+ * on an infinite-bandwidth network. Shared-memory mechanisms sweep the
+ * emulated latency; message-passing curves are plotted flat at the
+ * real-machine value, exactly as the paper does ("for reference only").
+ *
+ * At ~100-cycle latency the paper recovers Chandra et al.'s result:
+ * message passing about 2x faster than shared memory on EM3D.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    const auto scale = bench::parseScale(argc, argv);
+    const MachineConfig base;
+
+    std::vector<double> lat = {15, 30, 50, 100, 200, 400};
+    if (scale == bench::Scale::Quick)
+        lat = {15, 100, 400};
+
+    std::cout << "FIG10: runtime (cycles) vs emulated uniform one-way "
+                 "latency (cycles)\n\n";
+
+    for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto series = core::idealLatencySweep(
+            factory, base, bench::allMechs(), lat);
+        core::printSeries(std::cout, name, "ideal lat (cyc)", series);
+
+        // The Chandra-et-al. checkpoint at ~100 cycles.
+        for (std::size_t i = 0; i < lat.size(); ++i) {
+            if (lat[i] == 100) {
+                const double sm =
+                    series[0].points[i].result.runtimeCycles;
+                const double mp =
+                    series[2].points[i].result.runtimeCycles;
+                std::cout << "  at 100 cycles: SM/MP-I = " << sm / mp
+                          << "x\n";
+            }
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark micro-measurements: wall-clock cost of simulating
+ * the primitive operations (event dispatch, remote misses, active
+ * messages, barriers) and the resulting simulated-vs-host throughput.
+ * These are simulator-engineering numbers, not paper artifacts; they
+ * exist so performance regressions in the simulator itself get caught.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.hh"
+
+using namespace alewife;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [&sink]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+sim::Thread
+missProgram(proc::Ctx &ctx, Addr base, int n)
+{
+    if (ctx.self() != 0)
+        co_return;
+    for (int i = 0; i < n; ++i)
+        co_await ctx.read(base + static_cast<Addr>(i) * 16);
+}
+
+void
+BM_RemoteReadMiss(benchmark::State &state)
+{
+    const int misses = 256;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        Machine m(cfg, proc::SyncStyle::SharedMemory,
+                  msg::RecvMode::Interrupt);
+        const Addr base = m.mem().alloc(
+            static_cast<std::uint64_t>(misses) * 2,
+            mem::HomePolicy::Fixed, 5, "bm");
+        m.run([&](proc::Ctx &ctx) {
+            return missProgram(ctx, base, misses);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * misses);
+}
+BENCHMARK(BM_RemoteReadMiss);
+
+sim::Thread
+amProgram(proc::Ctx &ctx, msg::HandlerId h, int n)
+{
+    if (ctx.self() != 0)
+        co_return;
+    for (int i = 0; i < n; ++i)
+        co_await ctx.send(5, h, {});
+}
+
+void
+BM_ActiveMessage(benchmark::State &state)
+{
+    const int msgs = 256;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        Machine m(cfg, proc::SyncStyle::MessagePassing,
+                  msg::RecvMode::Interrupt);
+        const auto h = m.handlers().add([](msg::HandlerEnv &) {});
+        m.run([&](proc::Ctx &ctx) {
+            return amProgram(ctx, h, msgs);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_ActiveMessage);
+
+sim::Thread
+barrierProgram(proc::Ctx &ctx, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await ctx.barrier();
+}
+
+void
+BM_Barrier(benchmark::State &state)
+{
+    const int rounds = 16;
+    const bool sm = state.range(0) != 0;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        Machine m(cfg,
+                  sm ? proc::SyncStyle::SharedMemory
+                     : proc::SyncStyle::MessagePassing,
+                  msg::RecvMode::Interrupt);
+        m.run([&](proc::Ctx &ctx) {
+            return barrierProgram(ctx, rounds);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds);
+    state.SetLabel(sm ? "shared-memory" : "message-passing");
+}
+BENCHMARK(BM_Barrier)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

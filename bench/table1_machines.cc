@@ -1,0 +1,16 @@
+/**
+ * @file
+ * TAB1 — regenerate Table 1: parameter estimates for various
+ * 32-processor multiprocessors.
+ */
+
+#include <iostream>
+
+#include "core/report.hh"
+
+int
+main()
+{
+    alewife::core::printTable1(std::cout);
+    return 0;
+}

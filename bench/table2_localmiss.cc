@@ -1,0 +1,17 @@
+/**
+ * @file
+ * TAB2 — regenerate Table 2: machine parameters recalculated in terms
+ * of local cache-miss latency (the frame of reference the paper argues
+ * is right for memory-bound applications, Section 5.4).
+ */
+
+#include <iostream>
+
+#include "core/report.hh"
+
+int
+main()
+{
+    alewife::core::printTable2(std::cout);
+    return 0;
+}

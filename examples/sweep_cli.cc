@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Example: a command-line sweep driver over the public experiment API.
+ *
+ * Runs any paper application under any mechanism subset across any of
+ * the three paper sweeps without writing code:
+ *
+ *   sweep_cli --app em3d --mechs SM,MP-I --sweep bisection \
+ *             --points 18,9,4.5
+ *   sweep_cli --app iccg --mechs SM,MP-P --sweep ideal-latency \
+ *             --points 15,100,400
+ *   sweep_cli --app moldyn --sweep clock --points 14,20,40
+ *   sweep_cli --app unstruc --sweep none          # plain Figure-4 row
+ *
+ * Every run is verified against the application's sequential
+ * reference; the driver exits non-zero on any mismatch.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/em3d.hh"
+#include "apps/iccg.hh"
+#include "apps/moldyn.hh"
+#include "apps/stream.hh"
+#include "apps/unstruc.hh"
+#include "core/experiments.hh"
+#include "core/report.hh"
+
+using namespace alewife;
+
+namespace {
+
+struct Options
+{
+    std::string app = "em3d";
+    std::string sweep = "none";
+    std::vector<core::Mechanism> mechs;
+    std::vector<double> points;
+    double scale = 1.0;
+};
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: sweep_cli [--app em3d|unstruc|iccg|moldyn|stream]\n"
+           "                 [--mechs SM,SM+PF,MP-I,MP-P,BULK]\n"
+           "                 [--sweep none|bisection|clock|"
+           "ideal-latency]\n"
+           "                 [--points x1,x2,...]\n"
+           "                 [--scale f]   (workload size multiplier)\n";
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--app") {
+            o.app = next();
+        } else if (a == "--mechs") {
+            for (const auto &m : splitCommas(next()))
+                o.mechs.push_back(core::mechanismFromName(m));
+        } else if (a == "--sweep") {
+            o.sweep = next();
+        } else if (a == "--points") {
+            for (const auto &p : splitCommas(next()))
+                o.points.push_back(std::stod(p));
+        } else if (a == "--scale") {
+            o.scale = std::stod(next());
+        } else {
+            usage();
+        }
+    }
+    if (o.mechs.empty()) {
+        const auto all = core::allMechanisms();
+        o.mechs.assign(all.begin(), all.end());
+    }
+    return o;
+}
+
+core::AppFactory
+makeFactory(const Options &o)
+{
+    const double s = o.scale;
+    if (o.app == "em3d") {
+        apps::Em3d::Params p;
+        p.graph.nodesPerSide = static_cast<int>(1024 * s);
+        p.graph.degree = 8;
+        p.iters = 2;
+        return apps::Em3d::factory(p);
+    }
+    if (o.app == "unstruc") {
+        apps::Unstruc::Params p;
+        p.mesh.nodes = static_cast<int>(1200 * s);
+        p.iters = 2;
+        return apps::Unstruc::factory(p);
+    }
+    if (o.app == "iccg") {
+        apps::Iccg::Params p;
+        p.matrix.rows = static_cast<int>(1200 * s);
+        return apps::Iccg::factory(p);
+    }
+    if (o.app == "moldyn") {
+        apps::Moldyn::Params p;
+        p.box.molecules = static_cast<int>(768 * s);
+        p.iters = 2;
+        return apps::Moldyn::factory(p);
+    }
+    if (o.app == "stream") {
+        apps::Stream::Params p;
+        p.valuesPerIter = static_cast<int>(64 * s);
+        p.iters = 4;
+        return apps::Stream::factory(p);
+    }
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    const auto factory = makeFactory(o);
+    const MachineConfig base;
+
+    if (o.sweep == "none") {
+        const auto results =
+            core::runAllMechanisms(factory, base, o.mechs);
+        core::printBreakdownTable(std::cout, o.app, results);
+        core::printVolumeTable(std::cout, o.app, results);
+        return 0;
+    }
+
+    std::vector<core::MechSeries> series;
+    std::string xlabel;
+    if (o.sweep == "bisection") {
+        auto pts = o.points.empty()
+                       ? std::vector<double>{18, 9, 4.5}
+                       : o.points;
+        series = core::bisectionSweep(factory, base, o.mechs, pts);
+        xlabel = "bisection B/cyc";
+    } else if (o.sweep == "clock") {
+        auto pts = o.points.empty()
+                       ? std::vector<double>{14, 20, 40}
+                       : o.points;
+        series = core::clockSweep(factory, base, o.mechs, pts);
+        xlabel = "net lat (cyc)";
+    } else if (o.sweep == "ideal-latency") {
+        auto pts = o.points.empty()
+                       ? std::vector<double>{15, 100, 400}
+                       : o.points;
+        series = core::idealLatencySweep(factory, base, o.mechs, pts);
+        xlabel = "latency (cyc)";
+    } else {
+        usage();
+    }
+    core::printSeries(std::cout, o.app + " / " + o.sweep, xlabel,
+                      series);
+    return 0;
+}

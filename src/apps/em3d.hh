@@ -1,0 +1,131 @@
+/**
+ * @file
+ * EM3D: electromagnetic wave propagation on an irregular bipartite
+ * graph (Section 4.1 of the paper).
+ *
+ * Five variants:
+ *  - shared memory: each phase reads neighbour values through the
+ *    coherence protocol directly; barriers between phases;
+ *  - shared memory + prefetch: read-prefetch two edges ahead, write
+ *    prefetch of the node being updated;
+ *  - MP interrupt / polling: a pre-communication step ships "ghost
+ *    node" values five doubles per active message, then each phase
+ *    computes locally;
+ *  - bulk transfer: ghost values are gathered into one buffer per
+ *    destination and shipped via DMA; used in place on arrival.
+ *
+ * Every variant's final node values are checksummed against the
+ * sequential reference.
+ */
+
+#ifndef ALEWIFE_APPS_EM3D_HH
+#define ALEWIFE_APPS_EM3D_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "mem/partitioned.hh"
+#include "workload/bipartite.hh"
+
+namespace alewife::apps {
+
+/** EM3D under a selectable communication mechanism. */
+class Em3d : public core::App
+{
+  public:
+    struct Params
+    {
+        workload::BipartiteParams graph;
+        int iters = 5; ///< paper: 50
+    };
+
+    explicit Em3d(Params p);
+
+    std::string name() const override { return "em3d"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+
+    /** Factory for the experiment harness. */
+    static core::AppFactory factory(Params p);
+
+  private:
+    // One side ("E" or "H") of the ghost-exchange machinery. The side
+    // named X holds the *consumers*: X nodes read the other side's
+    // values, so ghosts of the other side flow toward X's owners.
+    struct Side
+    {
+        /** CSR in-edges of this side's nodes (from workload). */
+        const std::vector<std::int32_t> *row = nullptr;
+        const std::vector<workload::BipartiteEdge> *edges = nullptr;
+
+        /** Per-proc local values of this side's nodes (MP variants). */
+        std::vector<std::vector<double>> local;
+
+        /** Per-proc ghost value slots for the *other* side's values. */
+        std::vector<std::vector<double>> ghost;
+
+        /**
+         * Per-proc resolved edge targets: for proc p, edge k of local
+         * node n, where to read the source value (local vs ghost idx).
+         */
+        struct Ref
+        {
+            bool remote;
+            std::int32_t idx; ///< local index or ghost slot
+        };
+        std::vector<std::vector<Ref>> refs; ///< [proc][edge-flat]
+
+        /**
+         * Send plan: for producing proc p, flat list of (dst proc,
+         * local source index, ghost slot at dst), grouped by dst.
+         */
+        struct SendItem
+        {
+            std::int32_t srcLocal;
+            std::int32_t dstGhostSlot;
+        };
+        std::vector<std::vector<std::vector<SendItem>>> plan; ///< [p][q]
+
+        /** Expected ghost values per receiving proc, per iteration. */
+        std::vector<std::int64_t> expected;
+
+        /** Received ghost values (cumulative), updated by handlers. */
+        std::vector<std::int64_t> received;
+
+        /** Shared-memory array of this side's values. */
+        mem::PartitionedArray shared;
+    };
+
+    void buildMpPlans();
+    void setupSharedMemory(Machine &m);
+
+    sim::Thread programSm(proc::Ctx &ctx, bool prefetch);
+    sim::Thread programMp(proc::Ctx &ctx);
+    sim::Thread programBulk(proc::Ctx &ctx);
+
+    /** One MP ghost-exchange for @p side (values flow to consumers). */
+    sim::SubTask<void> exchangeMp(proc::Ctx &ctx, Side &side, int iter);
+    sim::SubTask<void> exchangeBulk(proc::Ctx &ctx, Side &side, int iter);
+
+    /** Local compute for one phase (MP variants). */
+    sim::SubTask<void> computePhase(proc::Ctx &ctx, Side &side);
+
+    Params p_;
+    workload::BipartiteGraph g_;
+    double reference_ = 0.0;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    Side eSide_; ///< E nodes consume H values
+    Side hSide_; ///< H nodes consume E values
+    msg::HandlerId hGhost_ = -1;
+    msg::HandlerId hGhostBulk_ = -1;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_EM3D_HH

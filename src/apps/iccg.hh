@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ICCG: sparse triangular solve by substitution (Section 4.3).
+ *
+ * The computation graph is a DAG: each row waits for all of its
+ * in-edges, does 2 FLOPs per edge, then feeds its out-edges. This is
+ * the paper's most fine-grained, communication-bound application and
+ * the one where polling beats interrupts most dramatically.
+ *
+ * Variants:
+ *  - MP interrupt/polling: dataflow with one active message per
+ *    non-local edge and per-node presence counters;
+ *  - bulk: edge values buffered per destination and flushed in batches
+ *    (the buffering cost and idle time the paper observes);
+ *  - shared memory: producer-computes — the producer performs the
+ *    subtraction at the consumer row via a remote read-modify-write,
+ *    with the presence counter packed into the same cache line as the
+ *    accumulator so the lock acquisition piggybacks on the write-
+ *    ownership request (Sec. 4.3.2); whoever zeroes a counter
+ *    continues that row's cascade;
+ *  - + prefetch: write prefetches two out-edges ahead.
+ */
+
+#ifndef ALEWIFE_APPS_ICCG_HH
+#define ALEWIFE_APPS_ICCG_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "mem/partitioned.hh"
+#include "workload/sparse_matrix.hh"
+
+namespace alewife::apps {
+
+/** ICCG triangular-solve kernel under a selectable mechanism. */
+class Iccg : public core::App
+{
+  public:
+    struct Params
+    {
+        workload::TriangularParams matrix;
+        /** Bulk variant: flush a destination buffer at this many edges. */
+        int bulkBatch = 8;
+    };
+
+    explicit Iccg(Params p);
+
+    std::string name() const override { return "iccg"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+    double tolerance() const override { return 1e-7; }
+
+    static core::AppFactory factory(Params p);
+
+  private:
+    struct OutEdge
+    {
+        std::int32_t dst; ///< global row index
+        double w;
+    };
+
+    void buildGraph();
+    void setupSharedMemory(Machine &m);
+    void setupMessagePassing(Machine &m);
+
+    sim::Thread programSm(proc::Ctx &ctx, bool prefetch);
+    sim::Thread programMp(proc::Ctx &ctx, bool bulk);
+
+    /** Apply one incoming value locally (MP); may enqueue ready rows. */
+    void applyLocal(int proc, std::int32_t row_global, double val);
+
+    /** SM step: compute the completed row r and feed its out-edges. */
+    sim::SubTask<void> smProcessRow(proc::Ctx &ctx, std::int32_t r,
+                                    bool prefetch);
+
+    Addr ctrAddr(std::int32_t r) const;
+    Addr accAddr(std::int32_t r) const;
+
+    Params p_;
+    workload::TriangularSystem sys_;
+    double reference_ = 0.0;
+    std::vector<double> xRef_;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    /** Out-edge adjacency (transpose of the CSR in-edges). */
+    std::vector<std::vector<OutEdge>> outOf_; ///< [row] -> out edges
+
+    // --- message-passing state (per proc, indexed by local row) ---
+    std::vector<std::vector<double>> acc_;
+    std::vector<std::vector<std::int32_t>> remaining_;
+    std::vector<std::vector<double>> x_;
+    std::vector<std::deque<std::int32_t>> ready_; ///< local row indices
+    std::vector<std::int64_t> processed_;
+    msg::HandlerId hEdge_ = -1;
+    msg::HandlerId hEdgeBulk_ = -1;
+
+    // --- shared-memory state ---
+    /** One line per row: word0 = (counter << 1) | lock, word1 = acc,
+     *  overwritten with x when the row completes. */
+    mem::PartitionedArray lineArr_;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_ICCG_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MOLDYN: molecular dynamics with a cutoff-radius interaction list and
+ * RCB-partitioned molecule groups (Section 4.4).
+ *
+ * The computation-to-communication ratio is the highest of the four
+ * applications, which tends to mask mechanism differences; locks
+ * perform well for shared memory because contention is low.
+ *
+ * Variants:
+ *  - shared memory: remote coordinates read through the protocol;
+ *    force-deltas to remote molecules accumulated under per-molecule
+ *    locks;
+ *  - + prefetch: read-prefetch of remote coordinates and write
+ *    prefetch of remote force-delta lines ahead of use;
+ *  - bulk: for each interacting processor pair (p, q), p ships the
+ *    coordinates of its boundary molecules to q; q computes all cross
+ *    interactions, accumulates its own deltas, and returns p's deltas
+ *    in one bulk transfer;
+ *  - MP interrupt/polling: the same exchange with fine-grained
+ *    five-word messages (the paper's fine-grained attempt congested
+ *    the network, so theirs — and ours — batches a communication
+ *    phase rather than interleaving).
+ */
+
+#ifndef ALEWIFE_APPS_MOLDYN_HH
+#define ALEWIFE_APPS_MOLDYN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "mem/partitioned.hh"
+#include "workload/molecules.hh"
+
+namespace alewife::apps {
+
+/** MOLDYN under a selectable communication mechanism. */
+class Moldyn : public core::App
+{
+  public:
+    struct Params
+    {
+        workload::MoldynParams box;
+        int iters = 2;
+    };
+
+    explicit Moldyn(Params p);
+
+    std::string name() const override { return "moldyn"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+    double tolerance() const override { return 1e-7; }
+
+    static core::AppFactory factory(Params p);
+
+  private:
+    /** One cross-processor interaction as seen by its computing proc. */
+    struct CrossPair
+    {
+        std::int32_t mine;  ///< local molecule index (at computer q)
+        std::int32_t ghost; ///< ghost slot of the remote molecule
+        std::int32_t remoteSlot; ///< index into the owner's send list
+    };
+
+    void buildPartition();
+    void setupSharedMemory(Machine &m);
+    void setupMessagePassing(Machine &m);
+
+    sim::Thread programSm(proc::Ctx &ctx, bool prefetch);
+    sim::Thread programMp(proc::Ctx &ctx, bool bulk);
+
+    /** Remote force-delta accumulation under a per-molecule lock. */
+    sim::SubTask<void> smAccumulate(proc::Ctx &ctx, std::int32_t mol,
+                                    const double d[3]);
+
+    Params p_;
+    workload::MoldynSystem sys_;
+    double reference_ = 0.0;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    /** Local pairs per proc (both endpoints owned). */
+    std::vector<std::vector<workload::Pair>> localPairs_;
+    /** Cross pairs grouped by (computing q, sending p). */
+    std::vector<std::vector<std::vector<CrossPair>>> cross_; ///< [q][p]
+    /** Send list: [p][q] -> local molecule indices p ships to q. */
+    std::vector<std::vector<std::vector<std::int32_t>>> sendList_;
+
+    // Shared-memory arrays (4 words per molecule: x,y,z,pad).
+    mem::PartitionedArray xArr_, fArr_, lockArr_;
+    /**
+     * SM work list: pair as (mine, other) where `mine` is owned by the
+     * computing processor. Cross pairs alternate between the two
+     * owners for load balance.
+     */
+    struct SmPair
+    {
+        std::int32_t mine;
+        std::int32_t other;
+    };
+    std::vector<std::vector<SmPair>> smPairs_;
+
+    // Message-passing state.
+    std::vector<std::vector<double>> xLoc_, vLoc_, fLoc_;
+    std::vector<std::vector<double>> ghostX_;  ///< [q] flat 3/molecule
+    std::vector<std::vector<double>> deltaOut_; ///< [q] computed deltas
+    std::vector<std::int64_t> coordsExpected_, coordsRecv_;
+    std::vector<std::int64_t> deltasExpected_, deltasRecv_;
+    msg::HandlerId hCoords_ = -1, hCoordsBulk_ = -1;
+    msg::HandlerId hDeltas_ = -1, hDeltasBulk_ = -1;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_MOLDYN_HH

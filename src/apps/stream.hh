@@ -1,0 +1,73 @@
+/**
+ * @file
+ * STREAM: a synthetic producer-consumer microbenchmark used to map the
+ * conceptual performance regions of the paper's Figures 1 and 2
+ * (latency hiding / latency dominated / congestion dominated).
+ *
+ * Each node produces K values per iteration (computePerValue cycles
+ * each) that its ring neighbour consumes. The compute knob sets the
+ * parallel slackness: with lots of compute per datum the network is
+ * hidden; with little, latency and then congestion dominate as
+ * bandwidth shrinks.
+ */
+
+#ifndef ALEWIFE_APPS_STREAM_HH
+#define ALEWIFE_APPS_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "mem/partitioned.hh"
+
+namespace alewife::apps {
+
+/** Ring producer-consumer under a selectable mechanism. */
+class Stream : public core::App
+{
+  public:
+    struct Params
+    {
+        int valuesPerIter = 64;    ///< K values produced per node/iter
+        int iters = 8;
+        double computePerValue = 20.0; ///< slackness knob (cycles)
+        int nprocs = 32;
+        std::uint64_t seed = 1;
+    };
+
+    explicit Stream(Params p);
+
+    std::string name() const override { return "stream"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+
+    static core::AppFactory factory(Params p);
+
+  private:
+    sim::Thread programSm(proc::Ctx &ctx, bool prefetch);
+    sim::Thread programMp(proc::Ctx &ctx, bool bulk);
+
+    Params p_;
+    double reference_ = 0.0;
+    std::vector<double> init_;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    mem::PartitionedArray valArr_; ///< SM: producer-owned values
+    std::vector<std::vector<double>> valLoc_; ///< MP: local values
+    std::vector<std::vector<double>> ghost_;  ///< MP: consumed copies
+    std::vector<std::int64_t> received_;
+    /** Flow control: iterations acknowledged by each node's consumer. */
+    std::vector<std::int64_t> acked_;
+    std::vector<double> sums_; ///< per-node consumption checksums
+    msg::HandlerId hVals_ = -1;
+    msg::HandlerId hValsBulk_ = -1;
+    msg::HandlerId hAck_ = -1;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_STREAM_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * UNSTRUC: fluid flow over an unstructured 3D mesh (Section 4.2).
+ *
+ * Each edge costs 75 single-precision FLOPs and accumulates equal and
+ * opposite contributions into its endpoint nodes; each node then
+ * produces 3 single-precision results per iteration. The high FLOPs
+ * per edge give UNSTRUC the highest computation-to-communication ratio
+ * after MOLDYN.
+ *
+ * Variants:
+ *  - shared memory: remote x values read through the protocol; f
+ *    accumulations to contested nodes protected by spin locks (the
+ *    locking overhead is why SM does not beat MP here — Sec. 4.2.3);
+ *  - + prefetch: write prefetches two edge-computations ahead;
+ *  - MP interrupt/polling: ghost-x pre-communication, remote f
+ *    contributions as fine-grained remote-write active messages;
+ *  - bulk: ghost-x and f contributions aggregated per destination.
+ */
+
+#ifndef ALEWIFE_APPS_UNSTRUC_HH
+#define ALEWIFE_APPS_UNSTRUC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "mem/partitioned.hh"
+#include "workload/unstructured_mesh.hh"
+
+namespace alewife::apps {
+
+/** UNSTRUC under a selectable communication mechanism. */
+class Unstruc : public core::App
+{
+  public:
+    struct Params
+    {
+        workload::MeshParams mesh;
+        int iters = 3;
+    };
+
+    explicit Unstruc(Params p);
+
+    std::string name() const override { return "unstruc"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+    double tolerance() const override { return 1e-7; }
+
+    static core::AppFactory factory(Params p);
+
+  private:
+    /** Edge as seen by its assigned (owner-of-u) processor. */
+    struct LocalEdge
+    {
+        std::int32_t u;       ///< global node id (always local)
+        std::int32_t v;       ///< global node id (maybe remote)
+        double w;
+        bool vRemote;
+        std::int32_t vGhost;  ///< ghost slot for x[v] (MP variants)
+    };
+
+    void buildPartition();
+    void setupSharedMemory(Machine &m);
+    void setupMessagePassing(Machine &m);
+
+    sim::Thread programSm(proc::Ctx &ctx, bool prefetch);
+    sim::Thread programMp(proc::Ctx &ctx, bool bulk);
+
+    /** One shared-memory f accumulation, locked when contested. */
+    sim::SubTask<void> smAccumulate(proc::Ctx &ctx, Addr f, Addr lock,
+                                    bool locked, double delta);
+
+    /** Ghost-x exchange for iteration @p iter (parity double-buffer). */
+    sim::SubTask<void> exchangeX(proc::Ctx &ctx, int iter, bool bulk);
+
+    Params p_;
+    workload::UnstructuredMesh mesh_;
+    double reference_ = 0.0;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    /** Per-proc edge lists (assigned by owner of u). */
+    std::vector<std::vector<LocalEdge>> edgesOf_;
+
+    /** Nodes touched by more than one processor (SM locking). */
+    std::vector<bool> contested_;
+
+    // Shared-memory arrays.
+    mem::PartitionedArray xArr_, fArr_, lockArr_;
+
+    // Message-passing state.
+    std::vector<std::vector<double>> xLocal_;   ///< [proc][local]
+    std::vector<std::vector<double>> fLocal_;   ///< [proc][local]
+    /** Ghost x values, double-buffered by iteration parity. */
+    std::vector<std::vector<double>> xGhost_[2];
+    /** Send plan: [p][q] -> (local index at p, ghost slot at q). */
+    struct SendItem
+    {
+        std::int32_t srcLocal;
+        std::int32_t dstSlot;
+    };
+    std::vector<std::vector<std::vector<SendItem>>> xPlan_;
+    std::vector<std::int64_t> xExpected_;
+    std::vector<std::int64_t> xReceived_[2];
+    /** Remote-f contributions received (cumulative). */
+    std::vector<std::int64_t> fExpected_;
+    std::vector<std::int64_t> fReceived_;
+
+    msg::HandlerId hGhostX_ = -1;
+    msg::HandlerId hGhostXBulk_ = -1;
+    msg::HandlerId hContrib_ = -1;
+    msg::HandlerId hContribBulk_ = -1;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_UNSTRUC_HH

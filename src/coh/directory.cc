@@ -1,0 +1,71 @@
+#include "coh/directory.hh"
+
+#include <algorithm>
+
+namespace alewife::coh {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::Recall: return "Recall";
+      case MsgType::RecallX: return "RecallX";
+      case MsgType::WbData: return "WbData";
+      case MsgType::WbEvict: return "WbEvict";
+      case MsgType::RecallNoData: return "RecallNoData";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::Data: return "Data";
+      case MsgType::DataX: return "DataX";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetX: return "FwdGetX";
+      case MsgType::FwdAck: return "FwdAck";
+      default: return "?";
+    }
+}
+
+bool
+carriesData(MsgType t)
+{
+    switch (t) {
+      case MsgType::WbData:
+      case MsgType::WbEvict:
+      case MsgType::Data:
+      case MsgType::DataX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DirEntry::hasSharer(NodeId n) const
+{
+    return std::find(sharers.begin(), sharers.end(), n) != sharers.end();
+}
+
+std::size_t
+DirEntry::addSharer(NodeId n)
+{
+    if (!hasSharer(n))
+        sharers.push_back(n);
+    return sharers.size();
+}
+
+void
+DirEntry::removeSharer(NodeId n)
+{
+    sharers.erase(std::remove(sharers.begin(), sharers.end(), n),
+                  sharers.end());
+}
+
+DirEntry *
+Directory::find(Addr line)
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+} // namespace alewife::coh

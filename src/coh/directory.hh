@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-home-node directory state (LimitLESS-style limited directory).
+ *
+ * The hardware tracks up to MachineConfig::dirHwPointers sharers; beyond
+ * that, directory operations trap to software on the home node's
+ * processor (see CoherenceController), as on the real Alewife machine.
+ * The Directory itself just stores state; all protocol logic lives in
+ * the CoherenceController.
+ */
+
+#ifndef ALEWIFE_COH_DIRECTORY_HH
+#define ALEWIFE_COH_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coh/proto.hh"
+#include "sim/types.hh"
+
+namespace alewife::coh {
+
+/** Stable directory state of one line. */
+enum class DirState : std::uint8_t
+{
+    Uncached,
+    Shared,
+    Modified,
+};
+
+/** An in-progress home transaction on one line. */
+struct DirTxn
+{
+    MsgType request;           ///< GetS or GetX being served
+    NodeId requester = -1;
+    int pendingAcks = 0;       ///< invalidation acks still outstanding
+    bool waitingRecall = false;///< a Recall/RecallX is outstanding
+    /** 3-hop variant: data flows owner->requester; the home must not
+     *  send its own reply when the confirmation arrives. */
+    bool forwarded = false;
+    std::uint64_t id = 0;      ///< matches ProtoMsg::txnId
+};
+
+/** Directory entry for one line at its home. */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    std::vector<NodeId> sharers; ///< valid when state == Shared
+    NodeId owner = -1;           ///< valid when state == Modified
+    std::optional<DirTxn> txn;   ///< present while the line is busy
+    std::deque<ProtoMsg> queue;  ///< requests waiting for the line
+
+    bool busy() const { return txn.has_value(); }
+
+    /** True if @p n is recorded as a sharer. */
+    bool hasSharer(NodeId n) const;
+
+    /** Add @p n if absent; returns new sharer count. */
+    std::size_t addSharer(NodeId n);
+
+    /** Remove @p n if present. */
+    void removeSharer(NodeId n);
+};
+
+/**
+ * All directory entries homed at one node.
+ */
+class Directory
+{
+  public:
+    /** Entry for @p line, default-constructed on first touch. */
+    DirEntry &entry(Addr line) { return entries_[line]; }
+
+    /** Entry if it exists already. */
+    DirEntry *find(Addr line);
+
+    /** Number of lines with non-default state (diagnostics). */
+    std::size_t linesTracked() const { return entries_.size(); }
+
+    /** All entries (diagnostics only). */
+    const std::unordered_map<Addr, DirEntry> &all() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace alewife::coh
+
+#endif // ALEWIFE_COH_DIRECTORY_HH

@@ -1,0 +1,7 @@
+#include "core/app.hh"
+
+namespace alewife::core {
+
+// App is an interface; this file anchors its vtable/key function.
+
+} // namespace alewife::core

@@ -1,0 +1,127 @@
+#include "core/experiments.hh"
+
+#include "sim/logging.hh"
+
+namespace alewife::core {
+
+std::vector<RunResult>
+runAllMechanisms(const AppFactory &app, const MachineConfig &base,
+                 const std::vector<Mechanism> &mechs)
+{
+    std::vector<RunResult> out;
+    for (Mechanism m : mechs) {
+        RunSpec spec;
+        spec.machine = base;
+        spec.mechanism = m;
+        out.push_back(runApp(app, spec));
+    }
+    return out;
+}
+
+std::vector<MechSeries>
+bisectionSweep(const AppFactory &app, const MachineConfig &base,
+               const std::vector<Mechanism> &mechs,
+               const std::vector<double> &bisections,
+               std::uint32_t cross_msg_bytes)
+{
+    std::vector<MechSeries> out;
+    const double native = base.bisectionBytesPerCycle();
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (double target : bisections) {
+            if (target > native)
+                ALEWIFE_FATAL("cannot emulate a bisection above native");
+            RunSpec spec;
+            spec.machine = base;
+            spec.mechanism = m;
+            spec.crossTraffic.bytesPerCycle = native - target;
+            spec.crossTraffic.messageBytes = cross_msg_bytes;
+            s.points.push_back({target, runApp(app, spec)});
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<MechSeries>
+msgLenSweep(const AppFactory &app, const MachineConfig &base,
+            const std::vector<Mechanism> &mechs,
+            double cross_bytes_per_cycle,
+            const std::vector<std::uint32_t> &lengths)
+{
+    std::vector<MechSeries> out;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (std::uint32_t len : lengths) {
+            RunSpec spec;
+            spec.machine = base;
+            spec.mechanism = m;
+            spec.crossTraffic.bytesPerCycle = cross_bytes_per_cycle;
+            spec.crossTraffic.messageBytes = len;
+            s.points.push_back(
+                {static_cast<double>(len), runApp(app, spec)});
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<MechSeries>
+clockSweep(const AppFactory &app, const MachineConfig &base,
+           const std::vector<Mechanism> &mechs,
+           const std::vector<double> &mhz_values)
+{
+    std::vector<MechSeries> out;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (double mhz : mhz_values) {
+            RunSpec spec;
+            spec.machine = base;
+            spec.machine.procMhz = mhz;
+            spec.mechanism = m;
+            const double lat = spec.machine.onewayLatencyCycles(
+                24, static_cast<int>(spec.machine.averageHops() + 0.5));
+            s.points.push_back({lat, runApp(app, spec)});
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<MechSeries>
+idealLatencySweep(const AppFactory &app, const MachineConfig &base,
+                  const std::vector<Mechanism> &mechs,
+                  const std::vector<double> &latencies)
+{
+    std::vector<MechSeries> out;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        if (isSharedMemory(m)) {
+            for (double lat : latencies) {
+                RunSpec spec;
+                spec.machine = base;
+                spec.machine.idealNet = true;
+                spec.machine.idealNetLatencyCycles = lat;
+                spec.mechanism = m;
+                s.points.push_back({lat, runApp(app, spec)});
+            }
+        } else {
+            // Message passing is asynchronous and unacknowledged; the
+            // paper plots it flat at the base machine's performance.
+            RunSpec spec;
+            spec.machine = base;
+            spec.mechanism = m;
+            RunResult r = runApp(app, spec);
+            for (double lat : latencies)
+                s.points.push_back({lat, r});
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace alewife::core

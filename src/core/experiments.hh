@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The paper's parametric experiments (Section 5), packaged as reusable
+ * sweeps over machine parameters:
+ *
+ *  - runAllMechanisms: Figures 4 and 5 (breakdowns at the base design)
+ *  - bisectionSweep:   Figure 8 (cross-traffic emulation)
+ *  - msgLenSweep:      Figure 7 (cross-traffic message-length artifact)
+ *  - clockSweep:       Figure 9 (relative network latency via clock)
+ *  - idealLatencySweep: Figure 10 (uniform-latency network emulation)
+ */
+
+#ifndef ALEWIFE_CORE_EXPERIMENTS_HH
+#define ALEWIFE_CORE_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace alewife::core {
+
+/** One point of a sweep: x is the swept parameter. */
+struct SweepPoint
+{
+    double x = 0.0;
+    RunResult result;
+};
+
+/** One mechanism's curve through a sweep. */
+struct MechSeries
+{
+    Mechanism mech = Mechanism::SharedMemory;
+    std::vector<SweepPoint> points;
+};
+
+/** Run every mechanism once at the base machine (Figures 4 and 5). */
+std::vector<RunResult>
+runAllMechanisms(const AppFactory &app, const MachineConfig &base,
+                 const std::vector<Mechanism> &mechs);
+
+/**
+ * Figure 8: sweep effective bisection bandwidth by injecting cross
+ * traffic. @p bisections are the *effective* bytes/cycle targets (the
+ * native bisection minus injected traffic); x = effective bisection.
+ */
+std::vector<MechSeries>
+bisectionSweep(const AppFactory &app, const MachineConfig &base,
+               const std::vector<Mechanism> &mechs,
+               const std::vector<double> &bisections,
+               std::uint32_t cross_msg_bytes = 64);
+
+/**
+ * Figure 7: fixed cross-traffic volume, varying message length;
+ * x = cross-traffic message bytes.
+ */
+std::vector<MechSeries>
+msgLenSweep(const AppFactory &app, const MachineConfig &base,
+            const std::vector<Mechanism> &mechs,
+            double cross_bytes_per_cycle,
+            const std::vector<std::uint32_t> &lengths);
+
+/**
+ * Figure 9: vary processor clock against the fixed-wall-clock network;
+ * x = one-way latency of a 24-byte packet in processor cycles.
+ */
+std::vector<MechSeries>
+clockSweep(const AppFactory &app, const MachineConfig &base,
+           const std::vector<Mechanism> &mechs,
+           const std::vector<double> &mhz_values);
+
+/**
+ * Figure 10: ideal uniform-latency network. Shared-memory mechanisms
+ * sweep @p latencies (cycles); message-passing mechanisms are run once
+ * at the base machine and replicated flat, as in the paper ("plotted
+ * for reference only"). x = emulated one-way latency in cycles.
+ */
+std::vector<MechSeries>
+idealLatencySweep(const AppFactory &app, const MachineConfig &base,
+                  const std::vector<Mechanism> &mechs,
+                  const std::vector<double> &latencies);
+
+} // namespace alewife::core
+
+#endif // ALEWIFE_CORE_EXPERIMENTS_HH

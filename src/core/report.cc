@@ -1,0 +1,162 @@
+#include "core/report.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "machine/gallery.hh"
+
+namespace alewife::core {
+
+namespace {
+
+void
+hrule(std::ostream &os, int width)
+{
+    for (int i = 0; i < width; ++i)
+        os << '-';
+    os << '\n';
+}
+
+std::string
+fmtOpt(const std::optional<double> &v, int prec = 1)
+{
+    if (!v)
+        return "N/A";
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << *v;
+    return ss.str();
+}
+
+} // namespace
+
+void
+printBreakdownTable(std::ostream &os, const std::string &title,
+                    const std::vector<RunResult> &results)
+{
+    os << title << '\n';
+    hrule(os, 78);
+    os << std::left << std::setw(8) << "mech" << std::right
+       << std::setw(12) << "runtime" << std::setw(12) << "compute"
+       << std::setw(12) << "mem+ni" << std::setw(12) << "msg-ovhd"
+       << std::setw(12) << "sync" << std::setw(10) << "verified"
+       << '\n';
+    hrule(os, 78);
+    for (const RunResult &r : results) {
+        os << std::left << std::setw(8) << mechanismShortName(r.mechanism)
+           << std::right << std::fixed << std::setprecision(0)
+           << std::setw(12) << r.runtimeCycles << std::setw(12)
+           << r.avgCycles(TimeCat::Compute) << std::setw(12)
+           << r.avgCycles(TimeCat::MemWait) << std::setw(12)
+           << r.avgCycles(TimeCat::MsgOverhead) << std::setw(12)
+           << r.avgCycles(TimeCat::Sync) << std::setw(10)
+           << (r.verified ? "yes" : "NO") << '\n';
+    }
+    hrule(os, 78);
+}
+
+void
+printVolumeTable(std::ostream &os, const std::string &title,
+                 const std::vector<RunResult> &results)
+{
+    os << title << '\n';
+    hrule(os, 78);
+    os << std::left << std::setw(8) << "mech" << std::right
+       << std::setw(14) << "total-bytes" << std::setw(12) << "invals"
+       << std::setw(12) << "requests" << std::setw(12) << "headers"
+       << std::setw(12) << "data" << '\n';
+    hrule(os, 78);
+    for (const RunResult &r : results) {
+        os << std::left << std::setw(8) << mechanismShortName(r.mechanism)
+           << std::right << std::setw(14) << r.volume.total()
+           << std::setw(12) << r.volume.get(VolCat::Invalidates)
+           << std::setw(12) << r.volume.get(VolCat::Requests)
+           << std::setw(12) << r.volume.get(VolCat::Headers)
+           << std::setw(12) << r.volume.get(VolCat::Data) << '\n';
+    }
+    hrule(os, 78);
+}
+
+void
+printSeries(std::ostream &os, const std::string &title,
+            const std::string &xlabel,
+            const std::vector<MechSeries> &series)
+{
+    os << title << '\n';
+    hrule(os, 16 + 14 * static_cast<int>(series.size()));
+    os << std::left << std::setw(16) << xlabel << std::right;
+    for (const MechSeries &s : series)
+        os << std::setw(14) << mechanismShortName(s.mech);
+    os << '\n';
+    hrule(os, 16 + 14 * static_cast<int>(series.size()));
+    if (series.empty())
+        return;
+    const std::size_t rows = series.front().points.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        os << std::left << std::fixed << std::setprecision(2)
+           << std::setw(16) << series.front().points[i].x << std::right
+           << std::setprecision(0);
+        for (const MechSeries &s : series)
+            os << std::setw(14) << s.points[i].result.runtimeCycles;
+        os << '\n';
+    }
+    hrule(os, 16 + 14 * static_cast<int>(series.size()));
+}
+
+void
+printTable1(std::ostream &os)
+{
+    os << "Table 1: parameter estimates for 32-processor machines\n";
+    hrule(os, 96);
+    os << std::left << std::setw(16) << "machine" << std::setw(8)
+       << "MHz" << std::setw(18) << "topology" << std::right
+       << std::setw(12) << "bsctn MB/s" << std::setw(12) << "B/cycle"
+       << std::setw(10) << "net lat" << std::setw(10) << "rmt miss"
+       << std::setw(10) << "lcl miss" << '\n';
+    hrule(os, 96);
+    for (const auto &e : galleryMachines()) {
+        os << std::left << std::setw(16) << e.name << std::setw(8)
+           << e.procMhz << std::setw(18) << e.topology << std::right
+           << std::setw(12) << fmtOpt(e.bisectionMBps, 0)
+           << std::setw(12) << fmtOpt(e.bytesPerCycle) << std::setw(10)
+           << fmtOpt(e.netLatencyCycles, 0) << std::setw(10)
+           << fmtOpt(e.remoteMissCycles, 0) << std::setw(10)
+           << e.localMissCycles << '\n';
+    }
+    hrule(os, 96);
+}
+
+void
+printTable2(std::ostream &os)
+{
+    os << "Table 2: parameters in terms of local cache-miss latency\n";
+    hrule(os, 60);
+    os << std::left << std::setw(16) << "machine" << std::right
+       << std::setw(22) << "bsctn B/lcl-miss" << std::setw(22)
+       << "net-lat / lcl-miss" << '\n';
+    hrule(os, 60);
+    for (const auto &e : galleryMachines()) {
+        os << std::left << std::setw(16) << e.name << std::right
+           << std::setw(22) << fmtOpt(e.bytesPerLocalMiss(), 0)
+           << std::setw(22) << fmtOpt(e.netLatInLocalMisses()) << '\n';
+    }
+    hrule(os, 60);
+}
+
+void
+printCounters(std::ostream &os, const RunResult &r)
+{
+    const MachineCounters &c = r.counters;
+    os << "  [" << mechanismShortName(r.mechanism) << "] packets="
+       << c.packetsInjected << " hits=" << c.cacheHits
+       << " lclMiss=" << c.localMisses << " rmtMiss=" << c.remoteMisses
+       << " invs=" << c.invalidationsSent << " traps="
+       << c.limitlessTraps << " ints=" << c.interruptsTaken
+       << " polled=" << c.messagesPolled << " pf="
+       << c.prefetchesIssued << "/" << c.prefetchesUseful << "u/"
+       << c.prefetchesUseless << "x dma=" << c.dmaTransfers
+       << " locks=" << c.lockAcquires << "+" << c.lockRetries
+       << "r niFull=" << c.niQueueFullStalls << " events="
+       << r.simEvents << '\n';
+}
+
+} // namespace alewife::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII report formatting: the tables and series the benches print to
+ * regenerate the paper's figures and tables.
+ */
+
+#ifndef ALEWIFE_CORE_REPORT_HH
+#define ALEWIFE_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace alewife::core {
+
+/** Figure 4 style: per-mechanism execution-time breakdown table. */
+void printBreakdownTable(std::ostream &os, const std::string &title,
+                         const std::vector<RunResult> &results);
+
+/** Figure 5 style: per-mechanism communication-volume breakdown. */
+void printVolumeTable(std::ostream &os, const std::string &title,
+                      const std::vector<RunResult> &results);
+
+/** Sweep series: one column per mechanism, one row per x value. */
+void printSeries(std::ostream &os, const std::string &title,
+                 const std::string &xlabel,
+                 const std::vector<MechSeries> &series);
+
+/** Table 1: parameter gallery. */
+void printTable1(std::ostream &os);
+
+/** Table 2: gallery normalized to local-miss latency. */
+void printTable2(std::ostream &os);
+
+/** One-line diagnostic counters for a run. */
+void printCounters(std::ostream &os, const RunResult &r);
+
+} // namespace alewife::core
+
+#endif // ALEWIFE_CORE_REPORT_HH

@@ -1,0 +1,63 @@
+#include "core/runner.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace alewife::core {
+
+double
+RunResult::avgCycles(TimeCat c) const
+{
+    // breakdown holds the per-node average already (see runApp).
+    return breakdown.cycles(c);
+}
+
+RunResult
+runApp(App &app, const RunSpec &spec, bool verify_fatal)
+{
+    Machine m(spec.machine, syncStyle(spec.mechanism),
+              recvMode(spec.mechanism));
+    if (spec.crossTraffic.bytesPerCycle > 0.0)
+        m.addCrossTraffic(spec.crossTraffic);
+
+    app.setup(m, spec.mechanism);
+
+    const Tick finish =
+        m.run([&app](proc::Ctx &ctx) { return app.program(ctx); });
+
+    RunResult r;
+    r.app = app.name();
+    r.mechanism = spec.mechanism;
+    r.runtimeCycles = ticksToCycles(finish);
+
+    TimeBreakdown sum = m.breakdownSum();
+    for (std::size_t i = 0; i < sum.ticks.size(); ++i)
+        r.breakdown.ticks[i] = sum.ticks[i] / m.nodes();
+
+    r.volume = m.volume();
+    r.counters = m.counters();
+    r.simEvents = m.eq().eventsExecuted();
+
+    r.checksum = app.checksum();
+    r.reference = app.reference();
+    const double denom = std::max(std::abs(r.reference), 1.0);
+    r.verified =
+        std::abs(r.checksum - r.reference) / denom <= app.tolerance();
+
+    if (!r.verified && verify_fatal) {
+        ALEWIFE_FATAL("result verification failed for ", r.app, " under ",
+                      mechanismName(r.mechanism), ": got ", r.checksum,
+                      " want ", r.reference);
+    }
+    return r;
+}
+
+RunResult
+runApp(const AppFactory &factory, const RunSpec &spec, bool verify_fatal)
+{
+    auto app = factory();
+    return runApp(*app, spec, verify_fatal);
+}
+
+} // namespace alewife::core

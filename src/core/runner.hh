@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AppRunner: execute one application under one mechanism on one machine
+ * configuration and collect every statistic the paper reports.
+ */
+
+#ifndef ALEWIFE_CORE_RUNNER_HH
+#define ALEWIFE_CORE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.hh"
+#include "core/mechanism.hh"
+#include "machine/config.hh"
+#include "net/cross_traffic.hh"
+#include "sim/stats.hh"
+
+namespace alewife::core {
+
+/** Everything a single application run produced. */
+struct RunResult
+{
+    std::string app;
+    Mechanism mechanism = Mechanism::SharedMemory;
+
+    /** Application runtime in processor cycles. */
+    double runtimeCycles = 0.0;
+
+    /** Per-node average execution-time breakdown (cycles). */
+    TimeBreakdown breakdown;
+
+    /** Communication volume injected into the network. */
+    VolumeBreakdown volume;
+
+    /** Machine-wide event counters. */
+    MachineCounters counters;
+
+    /** Numeric verification. */
+    double checksum = 0.0;
+    double reference = 0.0;
+    bool verified = false;
+
+    /** Simulator diagnostics. */
+    std::uint64_t simEvents = 0;
+
+    /** Cycles per category, averaged over nodes. */
+    double avgCycles(TimeCat c) const;
+};
+
+/** One experiment point: machine + mechanism + optional cross traffic. */
+struct RunSpec
+{
+    MachineConfig machine;
+    Mechanism mechanism = Mechanism::SharedMemory;
+    net::CrossTrafficConfig crossTraffic; ///< bytesPerCycle==0 disables
+};
+
+/**
+ * Run @p app under @p spec.
+ * @param verify_fatal abort (vs. just flag) on checksum mismatch
+ */
+RunResult runApp(App &app, const RunSpec &spec, bool verify_fatal = true);
+
+/** Convenience: build an App from a factory and run it. */
+RunResult runApp(const AppFactory &factory, const RunSpec &spec,
+                 bool verify_fatal = true);
+
+} // namespace alewife::core
+
+#endif // ALEWIFE_CORE_RUNNER_HH

@@ -1,0 +1,45 @@
+#include "machine/config.hh"
+
+#include "sim/logging.hh"
+
+namespace alewife {
+
+double
+MachineConfig::onewayLatencyCycles(std::uint32_t bytes, int hops) const
+{
+    if (idealNet)
+        return idealNetLatencyCycles;
+    return netFixedCycles() + hops * hopCycles()
+           + static_cast<double>(bytes) / linkBytesPerCycle();
+}
+
+double
+MachineConfig::averageHops() const
+{
+    // Mean Manhattan distance between two uniformly random distinct mesh
+    // positions is (X^2-1)/(3X) + (Y^2-1)/(3Y) for an X-by-Y mesh; close
+    // enough to the exact expectation for our purposes.
+    auto dim = [](double n) { return (n * n - 1.0) / (3.0 * n); };
+    return dim(meshX) + dim(meshY);
+}
+
+void
+MachineConfig::validate() const
+{
+    if (meshX < 1 || meshY < 1)
+        ALEWIFE_FATAL("mesh dimensions must be positive");
+    if (procMhz <= 0.0)
+        ALEWIFE_FATAL("procMhz must be positive");
+    if (lineBytes % 8 != 0 || lineBytes == 0)
+        ALEWIFE_FATAL("lineBytes must be a positive multiple of 8");
+    if (cacheBytes % lineBytes != 0)
+        ALEWIFE_FATAL("cacheBytes must be a multiple of lineBytes");
+    if (!idealNet && linkMBps <= 0.0)
+        ALEWIFE_FATAL("linkMBps must be positive");
+    if (dirHwPointers < 1)
+        ALEWIFE_FATAL("dirHwPointers must be at least 1");
+    if (niInputQueueSlots < 1)
+        ALEWIFE_FATAL("niInputQueueSlots must be at least 1");
+}
+
+} // namespace alewife

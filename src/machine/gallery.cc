@@ -1,0 +1,97 @@
+#include "machine/gallery.hh"
+
+#include <cmath>
+
+namespace alewife {
+
+std::optional<double>
+GalleryEntry::bytesPerLocalMiss() const
+{
+    if (!bytesPerCycle)
+        return std::nullopt;
+    return *bytesPerCycle * localMissCycles;
+}
+
+std::optional<double>
+GalleryEntry::netLatInLocalMisses() const
+{
+    if (!netLatencyCycles)
+        return std::nullopt;
+    return *netLatencyCycles / localMissCycles;
+}
+
+MachineConfig
+GalleryEntry::toConfig() const
+{
+    MachineConfig c;
+    c.name = name;
+    c.procMhz = procMhz;
+    c.meshX = 8;
+    c.meshY = 4;
+    c.localMissCycles = localMissCycles;
+    if (bisectionMBps) {
+        // 2 * meshY unidirectional links cross the bisection.
+        c.linkMBps = *bisectionMBps / (2.0 * c.meshY);
+    }
+    if (netLatencyCycles) {
+        // Split the one-way latency of a 24-byte packet between the
+        // fixed cost, the serialization and the per-hop component over
+        // the average hop count.
+        const double ser = 24.0 / c.linkBytesPerCycle();
+        const double hops = c.averageHops();
+        double rest = *netLatencyCycles - ser;
+        if (rest < 1.0)
+            rest = 1.0;
+        // Half fixed, half per-hop.
+        c.netFixedNs = 0.5 * rest / procMhz * 1000.0;
+        c.hopNs = 0.5 * rest / hops / procMhz * 1000.0;
+    }
+    return c;
+}
+
+const std::vector<GalleryEntry> &
+galleryMachines()
+{
+    // Values from Table 1 of the paper (32-processor configurations).
+    static const std::vector<GalleryEntry> table = {
+        {"MIT Alewife", 20.0, "4x8 Mesh", 360.0, 18.0, 15.0, 50.0, 11.0},
+        {"TMC CM5", 33.0, "4-ary Fat-Tree", 640.0, 19.4, 50.0,
+         std::nullopt, 16.0},
+        {"KSR-2", 20.0, "Ring", 1000.0, 50.0, std::nullopt, 126.0, 18.0},
+        {"MIT J-Machine", 12.5, "4x4x2 Mesh", 3200.0, 256.0, 7.0,
+         std::nullopt, 7.0},
+        {"MIT M-Machine", 100.0, "4x4x2 Mesh", 12800.0, 128.0, 10.0,
+         154.0, 21.0},
+        {"Intel Delta", 40.0, "4x8 Mesh", 216.0, 5.4, 15.0, std::nullopt,
+         10.0},
+        {"Intel Paragon", 50.0, "4x8 Mesh", 2800.0, 56.0, 12.0,
+         std::nullopt, 10.0},
+        {"Stanford DASH", 33.0, "2x4 clusters", 480.0, 14.5, 31.0, 120.0,
+         30.0},
+        {"Stanford FLASH", 200.0, "4x8 Mesh", 3200.0, 16.0, 62.0, 352.0,
+         40.0},
+        {"Wisconsin T0", 200.0, "none simulated", std::nullopt,
+         std::nullopt, 200.0, 1461.0, 40.0},
+        {"Wisconsin T1", 200.0, "none simulated", std::nullopt,
+         std::nullopt, 200.0, 401.0, 40.0},
+        {"Cray T3D", 150.0, "4x2x2 Torus", 4800.0, 32.0, 15.0, 100.0,
+         23.0},
+        {"Cray T3E", 300.0, "4x4x2 Torus", 19200.0, 64.0, 110.0, 450.0,
+         80.0},
+        {"SGI Origin", 200.0, "Hypercube", 10800.0, 54.0, 60.0, 150.0,
+         61.0},
+    };
+    return table;
+}
+
+const GalleryEntry *
+galleryFind(const std::string &name)
+{
+    for (const auto &e : galleryMachines()) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace alewife

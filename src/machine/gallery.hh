@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 1 / Table 2: parameter estimates for 32-processor machines.
+ *
+ * The paper anchors its sensitivity results to the design points of
+ * contemporary research and commercial machines. We encode those
+ * parameter estimates as data so the benches can regenerate both tables
+ * and so MachineConfig instances approximating any of the machines can
+ * be built for emulation experiments.
+ */
+
+#ifndef ALEWIFE_MACHINE_GALLERY_HH
+#define ALEWIFE_MACHINE_GALLERY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/config.hh"
+
+namespace alewife {
+
+/** One Table 1 row. */
+struct GalleryEntry
+{
+    std::string name;
+    double procMhz = 0.0;
+    std::string topology;
+    /** Bisection bandwidth, MB/s; nullopt for "N/A" (no network sim). */
+    std::optional<double> bisectionMBps;
+    /** Bisection bandwidth in bytes per processor cycle. */
+    std::optional<double> bytesPerCycle;
+    /** One-way latency of a 24-byte packet, processor cycles. */
+    std::optional<double> netLatencyCycles;
+    /** Average remote miss latency, cycles; nullopt for "N/A". */
+    std::optional<double> remoteMissCycles;
+    /** Local miss latency, cycles. */
+    double localMissCycles = 0.0;
+
+    /** Table 2 column: bisection bytes per local-miss time. */
+    std::optional<double> bytesPerLocalMiss() const;
+
+    /** Table 2 column: network latency in local-miss times. */
+    std::optional<double> netLatInLocalMisses() const;
+
+    /**
+     * Build a MachineConfig approximating this design point on the
+     * simulator's 8x4 mesh: clock, per-link bandwidth chosen to match
+     * the bisection, and per-hop latency fit to the one-way latency.
+     */
+    MachineConfig toConfig() const;
+};
+
+/** All Table 1 rows, in paper order. */
+const std::vector<GalleryEntry> &galleryMachines();
+
+/** Lookup by name; nullptr if unknown. */
+const GalleryEntry *galleryFind(const std::string &name);
+
+} // namespace alewife
+
+#endif // ALEWIFE_MACHINE_GALLERY_HH

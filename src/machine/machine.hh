@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Machine: the assembled simulated multiprocessor.
+ *
+ * Owns the event queue, the mesh, the global address space, and one
+ * node-set (processor, cache, prefetch buffer, coherence controller,
+ * network interface, programming context) per mesh position. A run
+ * launches one program coroutine per node and drives the event queue
+ * until every program completes.
+ */
+
+#ifndef ALEWIFE_MACHINE_MACHINE_HH
+#define ALEWIFE_MACHINE_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coh/coherence.hh"
+#include "machine/config.hh"
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "msg/active_messages.hh"
+#include "net/cross_traffic.hh"
+#include "net/mesh.hh"
+#include "proc/context.hh"
+#include "proc/prefetch_buffer.hh"
+#include "proc/processor.hh"
+#include "proc/sync.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace alewife {
+
+/**
+ * A fully wired simulated multiprocessor.
+ */
+class Machine
+{
+  public:
+    /** Builds a program coroutine for one node. */
+    using ProgramFactory = std::function<sim::Thread(proc::Ctx &)>;
+
+    Machine(MachineConfig cfg, proc::SyncStyle style, msg::RecvMode mode);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    int nodes() const { return cfg_.nodes(); }
+    const MachineConfig &config() const { return cfg_; }
+
+    EventQueue &eq() { return eq_; }
+    net::Mesh &mesh() { return *mesh_; }
+    mem::AddressSpace &mem() { return *mem_; }
+    msg::HandlerRegistry &handlers() { return handlers_; }
+    MachineCounters &counters() { return counters_; }
+    proc::SyncSystem &sync() { return *sync_; }
+
+    proc::Ctx &ctx(int i) { return *nodes_[i]->ctx; }
+    proc::Proc &procAt(int i) { return nodes_[i]->proc; }
+    coh::CoherenceController &cohAt(int i) { return *nodes_[i]->coh; }
+    msg::NetIface &niAt(int i) { return *nodes_[i]->ni; }
+    mem::Cache &cacheAt(int i) { return nodes_[i]->cache; }
+
+    /** Attach cross-traffic injectors (call before run()). */
+    void addCrossTraffic(net::CrossTrafficConfig cfg);
+
+    /**
+     * Launch one program per node and drive the simulation until all
+     * programs complete.
+     * @param f per-node program factory
+     * @param limit panic if simulated time would exceed this
+     * @return the finish tick (max completion time over nodes)
+     */
+    Tick run(const ProgramFactory &f,
+             Tick limit = cyclesToTicks(std::uint64_t(4'000'000'000)));
+
+    /** Finish tick of the last run. */
+    Tick finishTick() const { return finishTick_; }
+
+    /**
+     * Read the architectural value of a shared word after a run,
+     * honouring dirty copies still sitting in caches or prefetch
+     * buffers. Verification only.
+     */
+    std::uint64_t debugWord(Addr a);
+
+    /** debugWord, bit-cast to double. */
+    double debugDouble(Addr a);
+
+    /** Sum of per-node time breakdowns of the last run. */
+    TimeBreakdown breakdownSum() const;
+
+    /** Application communication volume so far. */
+    const VolumeBreakdown &volume() const { return mesh_->volume(); }
+
+  private:
+    struct Node
+    {
+        Node(NodeId id, Machine &m);
+
+        proc::Proc proc;
+        mem::Cache cache;
+        proc::PrefetchBuffer pfb;
+        std::unique_ptr<coh::CoherenceController> coh;
+        std::unique_ptr<msg::NetIface> ni;
+        std::unique_ptr<proc::Ctx> ctx;
+    };
+
+    bool allDone() const;
+
+    MachineConfig cfg_;
+    EventQueue eq_;
+    MachineCounters counters_;
+    msg::HandlerRegistry handlers_;
+    std::unique_ptr<net::Mesh> mesh_;
+    std::unique_ptr<mem::AddressSpace> mem_;
+    std::unique_ptr<proc::SyncSystem> sync_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<net::CrossTraffic> cross_;
+    Tick finishTick_ = 0;
+};
+
+} // namespace alewife
+
+#endif // ALEWIFE_MACHINE_MACHINE_HH

@@ -1,0 +1,114 @@
+#include "mem/address_space.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace alewife::mem {
+
+AddressSpace::AddressSpace(int nodes, std::uint32_t line_bytes)
+    : nodes_(nodes), lineBytes_(line_bytes), nextBase_(line_bytes)
+{
+    if (nodes < 1)
+        ALEWIFE_FATAL("address space needs at least one node");
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        ALEWIFE_FATAL("line size must be a power of two");
+}
+
+Addr
+AddressSpace::alloc(std::uint64_t words, HomePolicy policy,
+                    NodeId fixed_node, const std::string &label)
+{
+    if (words == 0)
+        ALEWIFE_FATAL("zero-sized shared allocation");
+    // Round the allocation up to whole lines so distinct allocations never
+    // share a line (no false sharing across data structures).
+    const std::uint64_t wpl = wordsPerLine();
+    const std::uint64_t rounded = (words + wpl - 1) / wpl * wpl;
+
+    Region r;
+    r.base = nextBase_;
+    r.words = rounded;
+    r.policy = policy;
+    r.fixedNode = fixed_node;
+    r.label = label;
+    regions_.push_back(r);
+
+    store_.resize(store_.size() + rounded, 0);
+    nextBase_ += rounded * 8;
+    return r.base;
+}
+
+const AddressSpace::Region &
+AddressSpace::regionFor(Addr a) const
+{
+    // Regions are sorted by base; binary search for the containing one.
+    std::size_t lo = 0, hi = regions_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        const Region &r = regions_[mid];
+        if (a < r.base) {
+            hi = mid;
+        } else if (a >= r.base + r.words * 8) {
+            lo = mid + 1;
+        } else {
+            return r;
+        }
+    }
+    ALEWIFE_PANIC("address ", a, " not in any shared allocation");
+}
+
+NodeId
+AddressSpace::home(Addr a) const
+{
+    const Region &r = regionFor(a);
+    switch (r.policy) {
+      case HomePolicy::Fixed:
+        return r.fixedNode;
+      case HomePolicy::Interleaved: {
+        const std::uint64_t line = (a - r.base) / lineBytes_;
+        return static_cast<NodeId>(line % nodes_);
+      }
+      case HomePolicy::Blocked: {
+        // Whole-line chunks, as even as possible.
+        const std::uint64_t lines = (r.words * 8) / lineBytes_;
+        const std::uint64_t line = (a - r.base) / lineBytes_;
+        const std::uint64_t per = (lines + nodes_ - 1) / nodes_;
+        return static_cast<NodeId>(line / per);
+      }
+    }
+    ALEWIFE_PANIC("bad home policy");
+}
+
+std::uint64_t
+AddressSpace::loadWord(Addr a) const
+{
+    if (a % 8 != 0)
+        ALEWIFE_PANIC("unaligned word load at ", a);
+    regionFor(a); // bounds check
+    // Regions are packed contiguously starting at byte offset lineBytes_.
+    return store_[(a - lineBytes_) / 8];
+}
+
+void
+AddressSpace::storeWord(Addr a, std::uint64_t v)
+{
+    if (a % 8 != 0)
+        ALEWIFE_PANIC("unaligned word store at ", a);
+    regionFor(a); // bounds check
+    store_[(a - lineBytes_) / 8] = v;
+}
+
+double
+AddressSpace::loadDouble(Addr a) const
+{
+    return std::bit_cast<double>(loadWord(a));
+}
+
+void
+AddressSpace::storeDouble(Addr a, double v)
+{
+    storeWord(a, std::bit_cast<std::uint64_t>(v));
+}
+
+} // namespace alewife::mem

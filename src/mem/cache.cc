@@ -1,0 +1,144 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace alewife::mem {
+
+Cache::Cache(std::uint32_t capacity_bytes, std::uint32_t line_bytes)
+    : lineBytes_(line_bytes), numSets_(capacity_bytes / line_bytes)
+{
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
+        ALEWIFE_FATAL("cache must have a power-of-two number of sets");
+    lines_.resize(numSets_);
+}
+
+Addr
+Cache::lineBase(Addr a) const
+{
+    return a & ~static_cast<Addr>(lineBytes_ - 1);
+}
+
+std::uint32_t
+Cache::setOf(Addr a) const
+{
+    return static_cast<std::uint32_t>((a / lineBytes_) & (numSets_ - 1));
+}
+
+const Cache::Line *
+Cache::find(Addr a) const
+{
+    const Line &l = lines_[setOf(a)];
+    if (l.valid && l.tag == lineBase(a))
+        return &l;
+    return nullptr;
+}
+
+Cache::Line *
+Cache::find(Addr a)
+{
+    Line &l = lines_[setOf(a)];
+    if (l.valid && l.tag == lineBase(a))
+        return &l;
+    return nullptr;
+}
+
+bool
+Cache::contains(Addr a) const
+{
+    return find(a) != nullptr;
+}
+
+std::optional<LineState>
+Cache::state(Addr a) const
+{
+    const Line *l = find(a);
+    if (!l)
+        return std::nullopt;
+    return l->st;
+}
+
+std::uint64_t
+Cache::readWord(Addr a) const
+{
+    const Line *l = find(a);
+    if (!l)
+        ALEWIFE_PANIC("readWord on absent line ", a);
+    return l->words[(a - l->tag) / 8];
+}
+
+void
+Cache::writeWord(Addr a, std::uint64_t v)
+{
+    Line *l = find(a);
+    if (!l)
+        ALEWIFE_PANIC("writeWord on absent line ", a);
+    if (l->st != LineState::Modified)
+        ALEWIFE_PANIC("writeWord on non-Modified line ", a);
+    l->words[(a - l->tag) / 8] = v;
+}
+
+std::optional<Cache::Victim>
+Cache::fill(Addr line_addr, LineState st,
+            const std::vector<std::uint64_t> &words)
+{
+    if (line_addr != lineBase(line_addr))
+        ALEWIFE_PANIC("fill with unaligned line address");
+    Line &l = lines_[setOf(line_addr)];
+    std::optional<Victim> victim;
+    if (l.valid && l.tag != line_addr && l.st == LineState::Modified)
+        victim = Victim{l.tag, true, std::move(l.words)};
+    l.valid = true;
+    l.tag = line_addr;
+    l.st = st;
+    l.words = words;
+    return victim;
+}
+
+std::optional<std::vector<std::uint64_t>>
+Cache::invalidate(Addr a)
+{
+    Line *l = find(a);
+    if (!l)
+        return std::nullopt;
+    l->valid = false;
+    if (l->st == LineState::Modified)
+        return std::move(l->words);
+    return std::nullopt;
+}
+
+std::optional<std::vector<std::uint64_t>>
+Cache::downgrade(Addr a)
+{
+    Line *l = find(a);
+    if (!l || l->st != LineState::Modified)
+        return std::nullopt;
+    l->st = LineState::Shared;
+    return l->words; // copy: the line stays resident
+}
+
+void
+Cache::upgrade(Addr a)
+{
+    Line *l = find(a);
+    if (!l)
+        ALEWIFE_PANIC("upgrade on absent line ", a);
+    l->st = LineState::Modified;
+}
+
+std::vector<std::uint64_t>
+Cache::lineWords(Addr a) const
+{
+    const Line *l = find(a);
+    if (!l)
+        ALEWIFE_PANIC("lineWords on absent line ", a);
+    return l->words;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &l : lines_)
+        l.valid = false;
+}
+
+} // namespace alewife::mem

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-node direct-mapped data cache (Alewife: 64 KB, 16-byte lines).
+ *
+ * Only *shared* data goes through this cache in the simulation; private
+ * data (loop indices, local buffers) is modelled as part of the compute
+ * cost. Lines hold real data words; the coherence layer fills, recalls,
+ * invalidates and downgrades them.
+ */
+
+#ifndef ALEWIFE_MEM_CACHE_HH
+#define ALEWIFE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife::mem {
+
+/** Cache-line coherence state (MSI; I is "not present"). */
+enum class LineState : std::uint8_t
+{
+    Shared,
+    Modified,
+};
+
+/**
+ * A direct-mapped cache of 64-bit-word lines.
+ */
+class Cache
+{
+  public:
+    /** What fell out of the cache when a new line was filled. */
+    struct Victim
+    {
+        Addr lineAddr;
+        bool dirty;
+        std::vector<std::uint64_t> words;
+    };
+
+    Cache(std::uint32_t capacity_bytes, std::uint32_t line_bytes);
+
+    /** True if the line containing @p a is present (any state). */
+    bool contains(Addr a) const;
+
+    /** State of the line containing @p a; nullopt if absent. */
+    std::optional<LineState> state(Addr a) const;
+
+    /** Read a word; line must be present. */
+    std::uint64_t readWord(Addr a) const;
+
+    /** Write a word; line must be present in Modified state. */
+    void writeWord(Addr a, std::uint64_t v);
+
+    /**
+     * Install a line. Returns the displaced dirty victim, if any (clean
+     * victims vanish silently).
+     */
+    std::optional<Victim> fill(Addr line_addr, LineState st,
+                               const std::vector<std::uint64_t> &words);
+
+    /**
+     * Remove the line containing @p a.
+     * @return its words if it was present and dirty (for writeback)
+     */
+    std::optional<std::vector<std::uint64_t>> invalidate(Addr a);
+
+    /**
+     * Downgrade Modified -> Shared; returns the line's words (the home
+     * needs them for the writeback) or nullopt if not present/Modified.
+     */
+    std::optional<std::vector<std::uint64_t>> downgrade(Addr a);
+
+    /** Upgrade Shared -> Modified in place (after a GETX completes). */
+    void upgrade(Addr a);
+
+    /** Copy of the line's words; line must be present. */
+    std::vector<std::uint64_t> lineWords(Addr a) const;
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    /** Drop every line (used between benchmark repetitions). */
+    void flushAll();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0; ///< full line address, not just the tag bits
+        LineState st = LineState::Shared;
+        std::vector<std::uint64_t> words;
+    };
+
+    std::uint32_t setOf(Addr a) const;
+    Addr lineBase(Addr a) const;
+    const Line *find(Addr a) const;
+    Line *find(Addr a);
+
+    std::uint32_t lineBytes_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;
+};
+
+} // namespace alewife::mem
+
+#endif // ALEWIFE_MEM_CACHE_HH

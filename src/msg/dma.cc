@@ -1,0 +1,28 @@
+#include "msg/dma.hh"
+
+namespace alewife::msg {
+
+double
+DmaCostModel::gatherCycles(std::uint64_t words) const
+{
+    // gatherScatterPerLineCycles is quoted per cache line of data.
+    const double lines = static_cast<double>(words * 8)
+                         / static_cast<double>(cfg_.lineBytes);
+    return lines * cfg_.gatherScatterPerLineCycles;
+}
+
+double
+DmaCostModel::scatterCycles(std::uint64_t words) const
+{
+    return gatherCycles(words);
+}
+
+std::uint32_t
+DmaCostModel::paddedBytes(std::uint64_t words) const
+{
+    const std::uint32_t raw = static_cast<std::uint32_t>(words * 8);
+    const std::uint32_t align = cfg_.dmaAlignBytes;
+    return (raw + align - 1) / align * align;
+}
+
+} // namespace alewife::msg

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DMA bulk-transfer cost helpers.
+ *
+ * Alewife's bulk transfer appends (address, length) pairs to an active
+ * message; the CMMU streams the data via DMA. The hardware part is
+ * cheap — the expensive parts on irregular applications are the software
+ * gather into a contiguous buffer on the send side and the scatter on
+ * the receive side (up to 60 cycles per 16-byte line, Section 4), plus
+ * double-word alignment padding on small transfers (Figure 5, ICCG).
+ * This module centralizes those cost formulas so application variants
+ * and tests agree on them.
+ */
+
+#ifndef ALEWIFE_MSG_DMA_HH
+#define ALEWIFE_MSG_DMA_HH
+
+#include <cstdint>
+
+#include "machine/config.hh"
+
+namespace alewife::msg {
+
+/** Cost model for gather/scatter copying around DMA transfers. */
+class DmaCostModel
+{
+  public:
+    explicit DmaCostModel(const MachineConfig &cfg) : cfg_(cfg) {}
+
+    /** Processor cycles to gather @p words 64-bit words into a buffer. */
+    double gatherCycles(std::uint64_t words) const;
+
+    /** Processor cycles to scatter @p words out of a receive buffer. */
+    double scatterCycles(std::uint64_t words) const;
+
+    /** Sender-side setup cost of one DMA descriptor. */
+    double setupCycles() const { return cfg_.dmaSetupCycles; }
+
+    /** Bytes on the wire for a body of @p words after alignment. */
+    std::uint32_t paddedBytes(std::uint64_t words) const;
+
+  private:
+    const MachineConfig &cfg_;
+};
+
+} // namespace alewife::msg
+
+#endif // ALEWIFE_MSG_DMA_HH

@@ -1,0 +1,194 @@
+#include "net/mesh.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace alewife::net {
+
+Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg) : eq_(eq), cfg_(cfg)
+{
+    sinks_.resize(cfg.nodes());
+    // Four unidirectional links per node (E, W, N, S); links off the mesh
+    // edge exist but are only used by cross-traffic draining off-edge.
+    links_.resize(static_cast<std::size_t>(cfg.nodes()) * 4);
+    hopTicks_ = cyclesToTicks(cfg.hopCycles());
+    fixedTicks_ = cyclesToTicks(cfg.netFixedCycles());
+    retryTicks_ = cyclesToTicks(cfg.niRetryCycles);
+}
+
+void
+Mesh::setSink(NodeId node, Sink sink)
+{
+    sinks_.at(node) = std::move(sink);
+}
+
+Tick
+Mesh::serializationTicks(std::uint32_t bytes) const
+{
+    return cyclesToTicks(static_cast<double>(bytes)
+                         / cfg_.linkBytesPerCycle());
+}
+
+int
+Mesh::linkIndex(int x, int y, int nx, int ny) const
+{
+    const int node = y * cfg_.meshX + x;
+    int dir;
+    if (nx == x + 1 && ny == y)
+        dir = 0; // east
+    else if (nx == x - 1 && ny == y)
+        dir = 1; // west
+    else if (ny == y + 1 && nx == x)
+        dir = 2; // north
+    else if (ny == y - 1 && nx == x)
+        dir = 3; // south
+    else
+        ALEWIFE_PANIC("non-adjacent hop in route");
+    return node * 4 + dir;
+}
+
+void
+Mesh::route(NodeId src, NodeId dst, std::vector<int> &links) const
+{
+    links.clear();
+    int x = src % cfg_.meshX;
+    int y = src / cfg_.meshX;
+    const int dx = dst % cfg_.meshX;
+    const int dy = dst / cfg_.meshX;
+    while (x != dx) {
+        const int nx = x + (dx > x ? 1 : -1);
+        links.push_back(linkIndex(x, y, nx, y));
+        x = nx;
+    }
+    while (y != dy) {
+        const int ny = y + (dy > y ? 1 : -1);
+        links.push_back(linkIndex(x, y, x, ny));
+        y = ny;
+    }
+}
+
+int
+Mesh::hopCount(NodeId a, NodeId b) const
+{
+    const int ax = a % cfg_.meshX, ay = a / cfg_.meshX;
+    const int bx = b % cfg_.meshX, by = b / cfg_.meshX;
+    return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+Tick
+Mesh::send(std::unique_ptr<Packet> pkt)
+{
+    pkt->id = nextId_++;
+    ++injected_;
+    ALEWIFE_TRACE_EVENT(TraceCat::Net, eq_.now(), "inject #", pkt->id,
+                        " ", pkt->src, "->", pkt->dst, " ",
+                        pkt->sizeBytes, "B kind ",
+                        static_cast<int>(pkt->kind));
+    if (pkt->countInVolume) {
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(VolCat::NumCats); ++c) {
+            volume_.add(static_cast<VolCat>(c), pkt->volBytes[c]);
+        }
+    }
+
+    const Tick now = eq_.now();
+
+    if (cfg_.idealNet) {
+        // Uniform latency, infinite bandwidth, no contention.
+        const Tick arrive = now + cyclesToTicks(cfg_.idealNetLatencyCycles);
+        auto *raw = pkt.release();
+        eq_.schedule(arrive, [this, raw]() {
+            deliver(std::unique_ptr<Packet>(raw), -1);
+        });
+        return 0;
+    }
+
+    route(pkt->src, pkt->dst, scratchLinks_);
+    const Tick ser = serializationTicks(pkt->sizeBytes);
+    const int bisectX = cfg_.meshX / 2; // links from column bisectX-1 <-> bisectX
+
+    Tick head = now + fixedTicks_;
+    Tick first_link_wait = 0;
+    bool first = true;
+    int finalLink = -1;
+    for (int li : scratchLinks_) {
+        Link &link = links_[li];
+        const Tick uncontended = head + hopTicks_;
+        head = std::max(uncontended, link.freeAt + hopTicks_);
+        if (first) {
+            first_link_wait = head - uncontended;
+            first = false;
+        }
+        link.freeAt = head + ser;
+        link.busyTicks += ser;
+        link.bytes += pkt->sizeBytes;
+        finalLink = li;
+
+        // Bisection accounting: an east/west link whose endpoints straddle
+        // the vertical cut.
+        const int node = li / 4;
+        const int dir = li % 4;
+        const int x = node % cfg_.meshX;
+        if ((dir == 0 && x == bisectX - 1) || (dir == 1 && x == bisectX))
+            bisectionBytes_ += pkt->sizeBytes;
+    }
+    // Tail arrives one hop + serialization after the head enters the last
+    // link; for the zero-hop (self) case just charge fixed + serialization.
+    const Tick arrive =
+        scratchLinks_.empty() ? now + fixedTicks_ + ser : head + ser;
+
+    auto *raw = pkt.release();
+    eq_.schedule(arrive, [this, raw, finalLink]() {
+        deliver(std::unique_ptr<Packet>(raw), finalLink);
+    });
+    return first_link_wait;
+}
+
+void
+Mesh::deliver(std::unique_ptr<Packet> pkt, int finalLink)
+{
+    Sink &sink = sinks_.at(pkt->dst);
+    if (!sink)
+        ALEWIFE_PANIC("no sink registered for node ", pkt->dst);
+    if (sink(*pkt)) {
+        ALEWIFE_TRACE_EVENT(TraceCat::Net, eq_.now(), "deliver #",
+                            pkt->id, " at ", pkt->dst);
+        ++delivered_;
+        return;
+    }
+    ALEWIFE_TRACE_EVENT(TraceCat::Net, eq_.now(), "reject #", pkt->id,
+                        " at ", pkt->dst, " (NI full)");
+
+    // Receiver full: park the packet, keep the final link busy, retry.
+    ++niRejects_;
+    if (finalLink >= 0) {
+        Link &link = links_[finalLink];
+        link.freeAt = std::max(link.freeAt, eq_.now() + retryTicks_);
+        link.busyTicks += retryTicks_;
+    }
+    auto *raw = pkt.release();
+    eq_.schedule(eq_.now() + retryTicks_, [this, raw, finalLink]() {
+        deliver(std::unique_ptr<Packet>(raw), finalLink);
+    });
+}
+
+double
+Mesh::bisectionUtilization() const
+{
+    if (eq_.now() == 0)
+        return 0.0;
+    std::uint64_t worst = 0;
+    const int bisectX = cfg_.meshX / 2;
+    for (int y = 0; y < cfg_.meshY; ++y) {
+        const int east =
+            linkIndex(bisectX - 1, y, bisectX, y);
+        const int west = linkIndex(bisectX, y, bisectX - 1, y);
+        worst = std::max({worst, links_[east].busyTicks,
+                          links_[west].busyTicks});
+    }
+    return static_cast<double>(worst) / static_cast<double>(eq_.now());
+}
+
+} // namespace alewife::net

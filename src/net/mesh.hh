@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Contended 2D mesh with dimension-order (XY) wormhole routing.
+ *
+ * The timing model is a standard wormhole approximation: the packet head
+ * advances one hop per hopTicks, each traversed unidirectional link is
+ * occupied for the packet's serialization time, and a link already busy
+ * delays the head (per-link freeAt horizon). Congestion therefore grows
+ * nonlinearly with offered load, which is what produces the paper's
+ * "congestion dominated" region (Figure 1).
+ *
+ * Backpressure: a receiver may reject a delivery (network-interface input
+ * queue full). The packet then parks, holds its final link busy, and is
+ * redelivered after niRetryCycles — modelling the tree saturation the
+ * paper observes for message-passing traffic at high rates.
+ *
+ * An ideal mode (MachineConfig::idealNet) replaces all of this with a
+ * uniform one-way latency and infinite bandwidth, used by the Figure 10
+ * context-switching latency-emulation experiment.
+ */
+
+#ifndef ALEWIFE_NET_MESH_HH
+#define ALEWIFE_NET_MESH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machine/config.hh"
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace alewife::net {
+
+/**
+ * The machine interconnect.
+ */
+class Mesh
+{
+  public:
+    /**
+     * Delivery callback: return true to accept the packet, false to make
+     * the network hold it and retry (NI queue full).
+     */
+    using Sink = std::function<bool(Packet &)>;
+
+    Mesh(EventQueue &eq, const MachineConfig &cfg);
+
+    /** Register the delivery callback for @p node. */
+    void setSink(NodeId node, Sink sink);
+
+    /**
+     * Inject @p pkt at time now. Ownership transfers to the mesh until
+     * delivery. @p pkt.src/dst must be valid node ids.
+     * @return ticks the packet waited to enter its first link — the
+     *         sender-side back-pressure signal (0 in ideal mode)
+     */
+    Tick send(std::unique_ptr<Packet> pkt);
+
+    /** Aggregate volume injected (application traffic only). */
+    const VolumeBreakdown &volume() const { return volume_; }
+
+    /** Total packets injected / delivered, including cross-traffic. */
+    std::uint64_t packetsInjected() const { return injected_; }
+    std::uint64_t packetsDelivered() const { return delivered_; }
+
+    /** Times a delivery was rejected by a full NI queue. */
+    std::uint64_t niRejects() const { return niRejects_; }
+
+    /** Bytes that crossed the X-dimension bisection, both directions. */
+    std::uint64_t bisectionBytes() const { return bisectionBytes_; }
+
+    /**
+     * Utilization [0,1] of the most-loaded bisection link so far, i.e.
+     * busy ticks / elapsed ticks. Diagnostic for congestion studies.
+     */
+    double bisectionUtilization() const;
+
+    /** Number of hops a packet from @p a to @p b traverses. */
+    int hopCount(NodeId a, NodeId b) const;
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    /** One unidirectional link. */
+    struct Link
+    {
+        Tick freeAt = 0;
+        std::uint64_t busyTicks = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Index of the unidirectional link leaving (x,y) toward (nx,ny). */
+    int linkIndex(int x, int y, int nx, int ny) const;
+
+    /** Compute the XY route; fills @p links with link indices in order. */
+    void route(NodeId src, NodeId dst, std::vector<int> &links) const;
+
+    /** Schedule delivery (and retry-on-reject) of an arrived packet. */
+    void deliver(std::unique_ptr<Packet> pkt, int finalLink);
+
+    Tick serializationTicks(std::uint32_t bytes) const;
+
+    EventQueue &eq_;
+    const MachineConfig &cfg_;
+    std::vector<Sink> sinks_;
+    std::vector<Link> links_;
+    VolumeBreakdown volume_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t niRejects_ = 0;
+    std::uint64_t bisectionBytes_ = 0;
+    std::uint64_t nextId_ = 1;
+    Tick hopTicks_;
+    Tick fixedTicks_;
+    Tick retryTicks_;
+    mutable std::vector<int> scratchLinks_;
+};
+
+} // namespace alewife::net
+
+#endif // ALEWIFE_NET_MESH_HH

@@ -1,0 +1,7 @@
+#include "net/packet.hh"
+
+namespace alewife::net {
+
+// Packet and PayloadBase are header-only; this file anchors the vtable.
+
+} // namespace alewife::net

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Split-phase operation futures.
+ *
+ * Every simulated operation with an unknown completion time (remote cache
+ * miss, bulk-transfer completion, lock acquisition step, ...) is
+ * represented by a shared OpState. The issuing coroutine awaits an Op
+ * wrapping that state; the completing subsystem (coherence controller,
+ * DMA engine) calls Proc::completeOp. Operations that complete
+ * synchronously (cache hits) never suspend.
+ */
+
+#ifndef ALEWIFE_PROC_OP_HH
+#define ALEWIFE_PROC_OP_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace alewife::proc {
+
+class Proc;
+
+/** Shared completion state of a split-phase operation. */
+struct OpState
+{
+    bool done = false;
+    std::uint64_t value = 0;
+
+    /** Time category the issuer's wait is attributed to. */
+    TimeCat waitCat = TimeCat::MemWait;
+
+    /** Issuer's local time at issue (for wait attribution). */
+    Tick startLocal = 0;
+
+    /** Issuer's stolen-cycles counter at issue (to net out handlers). */
+    Tick stolenAtStart = 0;
+};
+
+/**
+ * Awaitable handle on an OpState. Returned by Ctx memory operations.
+ */
+class Op
+{
+  public:
+    Op(Proc &proc, std::shared_ptr<OpState> state)
+        : proc_(&proc), state_(std::move(state))
+    {
+    }
+
+    bool await_ready() const { return state_->done; }
+
+    void await_suspend(std::coroutine_handle<> h);
+
+    std::uint64_t await_resume() const { return state_->value; }
+
+    const std::shared_ptr<OpState> &state() const { return state_; }
+
+  private:
+    Proc *proc_;
+    std::shared_ptr<OpState> state_;
+};
+
+} // namespace alewife::proc
+
+#endif // ALEWIFE_PROC_OP_HH

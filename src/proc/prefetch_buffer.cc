@@ -1,0 +1,129 @@
+#include "proc/prefetch_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace alewife::proc {
+
+PrefetchBuffer::PrefetchBuffer(int entries)
+{
+    if (entries < 1)
+        ALEWIFE_FATAL("prefetch buffer needs at least one entry");
+    slots_.resize(entries);
+}
+
+bool
+PrefetchBuffer::contains(Addr line) const
+{
+    return find(line) != nullptr;
+}
+
+const PrefetchBuffer::Entry *
+PrefetchBuffer::find(Addr line) const
+{
+    for (const Entry &e : slots_) {
+        if (e.valid && e.lineAddr == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+PrefetchBuffer::install(Addr line, mem::LineState st,
+                        std::vector<std::uint64_t> words)
+{
+    // Reuse an existing entry for the same line, else take a free slot,
+    // else FIFO-evict.
+    Entry *target = nullptr;
+    for (Entry &e : slots_) {
+        if (e.valid && e.lineAddr == line) {
+            target = &e;
+            break;
+        }
+    }
+    if (!target) {
+        for (Entry &e : slots_) {
+            if (!e.valid) {
+                target = &e;
+                break;
+            }
+        }
+    }
+    if (!target) {
+        target = &slots_[fifoNext_];
+        fifoNext_ = (fifoNext_ + 1) % slots_.size();
+    }
+    target->valid = true;
+    target->lineAddr = line;
+    target->st = st;
+    target->words = std::move(words);
+}
+
+std::optional<PrefetchBuffer::Entry>
+PrefetchBuffer::take(Addr line)
+{
+    for (Entry &e : slots_) {
+        if (e.valid && e.lineAddr == line) {
+            Entry out = std::move(e);
+            e.valid = false;
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<PrefetchBuffer::Entry>
+PrefetchBuffer::evictOldest()
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Entry &e = slots_[(fifoNext_ + i) % slots_.size()];
+        if (e.valid) {
+            fifoNext_ = (fifoNext_ + i + 1) % slots_.size();
+            Entry out = std::move(e);
+            e.valid = false;
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+PrefetchBuffer::invalidate(Addr line)
+{
+    for (Entry &e : slots_) {
+        if (e.valid && e.lineAddr == line) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PrefetchBuffer::downgrade(Addr line)
+{
+    for (Entry &e : slots_) {
+        if (e.valid && e.lineAddr == line) {
+            e.st = mem::LineState::Shared;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+PrefetchBuffer::occupancy() const
+{
+    int n = 0;
+    for (const Entry &e : slots_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+void
+PrefetchBuffer::clear()
+{
+    for (Entry &e : slots_)
+        e.valid = false;
+}
+
+} // namespace alewife::proc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The Sparcle processor model.
+ *
+ * Each node runs one program coroutine. The processor keeps a *local*
+ * clock (localNow) that runs ahead of global simulated time through
+ * cache hits and short compute bursts (direct-execution fast path), and
+ * synchronizes with the event queue at communication and waiting points.
+ * The distance it may run ahead is bounded (aheadLimit) so interrupt
+ * timing stays accurate.
+ *
+ * Message handlers and LimitLESS software traps *steal* processor cycles:
+ * chargeHandler() extends the current compute block or pushes back a
+ * pending resume, which is precisely the progress perturbation the paper
+ * identifies as the cost of interrupt-driven message passing (Sec. 4.3).
+ */
+
+#ifndef ALEWIFE_PROC_PROCESSOR_HH
+#define ALEWIFE_PROC_PROCESSOR_HH
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "machine/config.hh"
+#include "proc/op.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace alewife::proc {
+
+/**
+ * One simulated processor.
+ */
+class Proc
+{
+  public:
+    /** Where the program coroutine currently stands. */
+    enum class State : std::uint8_t
+    {
+        Ready,        ///< program bound, not yet started
+        Running,      ///< executing synchronously between awaits
+        ComputeBlock, ///< suspended inside a timed compute burst
+        WaitingOp,    ///< suspended on a split-phase operation
+        Waiting,      ///< suspended on a condition / forced sync
+        Done,         ///< program finished
+    };
+
+    Proc(NodeId id, EventQueue &eq, const MachineConfig &cfg);
+
+    NodeId id() const { return id_; }
+    Tick localNow() const { return localNow_; }
+    State state() const { return state_; }
+    bool done() const { return state_ == State::Done; }
+    TimeBreakdown &breakdown() { return breakdown_; }
+    const TimeBreakdown &breakdown() const { return breakdown_; }
+    EventQueue &eventQueue() { return eq_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Bind the program and schedule its start at the current time. */
+    void start(sim::Thread program);
+
+    // ------------------------------------------------------------------
+    // Called from the program coroutine (state == Running)
+    // ------------------------------------------------------------------
+
+    /** Fast path: advance local time by @p cycles in category @p cat. */
+    void advance(TimeCat cat, double cycles);
+
+    /** True if the program should force a sync suspension soon. */
+    bool needsSync() const { return ahead_ > aheadLimit_; }
+
+    /** Suspend in a timed compute block of @p dur ticks. */
+    void suspendCompute(std::coroutine_handle<> h, Tick dur, TimeCat cat);
+
+    /** Suspend until @p op completes. */
+    void suspendOnOp(std::coroutine_handle<> h, std::shared_ptr<OpState> op);
+
+    /** Suspend until global time reaches localNow (forced sync). */
+    void suspendSync(std::coroutine_handle<> h);
+
+    /**
+     * Suspend until @p pred becomes true. Handlers and protocol events
+     * that might change the predicate must call recheckCond(). The wait
+     * is attributed to @p cat.
+     */
+    void suspendOnCond(std::coroutine_handle<> h, std::function<bool()> pred,
+                       TimeCat cat);
+
+    // ------------------------------------------------------------------
+    // Called from outside the coroutine (handlers, coherence, NI, DMA)
+    // ------------------------------------------------------------------
+
+    /**
+     * Steal @p cycles of processor time for a message handler, interrupt
+     * entry, or protocol software trap, starting no earlier than the
+     * current global time.
+     * @return the tick at which the stolen work completes
+     */
+    Tick chargeHandler(double cycles, TimeCat cat = TimeCat::MsgOverhead);
+
+    /** Complete a split-phase operation with @p value. */
+    void completeOp(const std::shared_ptr<OpState> &op, std::uint64_t value);
+
+    /** Re-test a pending condition wait (call after mutating state). */
+    void recheckCond();
+
+    /** Total ticks stolen by handlers so far (for wait attribution). */
+    Tick stolenTicks() const { return stolen_; }
+
+    /**
+     * Earliest tick at which the processor could run new work, as seen
+     * from global time; used by the NI to serialize handler execution.
+     */
+    Tick busyHorizon() const;
+
+  private:
+    /** Schedule (or move) the pending resume event to @p at. */
+    void scheduleResume(Tick at);
+
+    /** The resume event body. */
+    void fireResume();
+
+    /** Attribute a completed wait interval ending at @p end. */
+    void accountWait(TimeCat cat, Tick start_local, Tick stolen_at_start,
+                     Tick end);
+
+    NodeId id_;
+    EventQueue &eq_;
+    const MachineConfig &cfg_;
+    sim::Thread program_;
+    State state_ = State::Ready;
+
+    Tick localNow_ = 0;
+    Tick ahead_ = 0;       ///< ticks run ahead since last sync
+    Tick aheadLimit_;      ///< max run-ahead before forced sync
+    Tick stolen_ = 0;      ///< cumulative handler-stolen ticks
+
+    TimeBreakdown breakdown_;
+
+    // Pending resume bookkeeping.
+    EventHandle resumeEvent_;
+    Tick resumeAt_ = 0;
+    std::coroutine_handle<> resumeHandle_;
+
+    // ComputeBlock state.
+    Tick computeUntil_ = 0;
+
+    // WaitingOp state.
+    std::shared_ptr<OpState> currentOp_;
+
+    // Condition wait state.
+    struct CondWait
+    {
+        std::function<bool()> pred;
+        TimeCat cat;
+        Tick startLocal;
+        Tick stolenAtStart;
+    };
+    std::optional<CondWait> cond_;
+};
+
+} // namespace alewife::proc
+
+#endif // ALEWIFE_PROC_PROCESSOR_HH

@@ -1,0 +1,125 @@
+#include "proc/sync.hh"
+
+#include "proc/context.hh"
+#include "sim/logging.hh"
+
+namespace alewife::proc {
+
+SyncSystem::SyncSystem(int nprocs, SyncStyle style)
+    : nprocs_(nprocs), style_(style), epoch_(nprocs, 0),
+      arrivals_(nprocs, 0), released_(nprocs, 0)
+{
+}
+
+std::vector<int>
+SyncSystem::children(int p) const
+{
+    std::vector<int> out;
+    for (int i = 1; i <= arity_; ++i) {
+        const int c = p * arity_ + i;
+        if (c < nprocs_)
+            out.push_back(c);
+    }
+    return out;
+}
+
+void
+SyncSystem::setupSharedMemory(mem::AddressSpace &mem)
+{
+    lineBytes_ = mem.lineBytes();
+    const std::uint64_t wpl = mem.wordsPerLine();
+    // One line per node for each flag array; Blocked placement with
+    // exactly one line per node homes flag p at node p.
+    arriveBase_ = mem.alloc(wpl * nprocs_, mem::HomePolicy::Blocked, 0,
+                            "barrier-arrive");
+    releaseBase_ = mem.alloc(wpl * nprocs_, mem::HomePolicy::Blocked, 0,
+                             "barrier-release");
+}
+
+void
+SyncSystem::setupMessagePassing(msg::HandlerRegistry &handlers)
+{
+    hArrive_ = handlers.add([this](msg::HandlerEnv &env) {
+        ++arrivals_[env.self()];
+    });
+    hRelease_ = handlers.add([this](msg::HandlerEnv &env) {
+        // Cascade the release down the tree from within the handler.
+        const int p = env.self();
+        ++released_[p];
+        for (int c : children(p))
+            env.send(c, hRelease_, {});
+    });
+}
+
+Addr
+SyncSystem::arriveAddr(int p) const
+{
+    return arriveBase_ + static_cast<Addr>(p) * lineBytes_;
+}
+
+Addr
+SyncSystem::releaseAddr(int p) const
+{
+    return releaseBase_ + static_cast<Addr>(p) * lineBytes_;
+}
+
+sim::SubTask<void>
+SyncSystem::barrier(Ctx &ctx)
+{
+    ++ctx.counters().barrierEpisodes;
+    if (style_ == SyncStyle::SharedMemory)
+        return barrierSm(ctx);
+    return barrierMp(ctx);
+}
+
+sim::SubTask<void>
+SyncSystem::barrierSm(Ctx &ctx)
+{
+    const int p = ctx.self();
+    const std::uint64_t e = ++epoch_[p];
+
+    // Combine up: wait for all children's subtrees, then publish ours.
+    for (int c : children(p)) {
+        co_await ctx.spinUntil(
+            arriveAddr(c), [e](std::uint64_t v) { return v >= e; },
+            TimeCat::Sync);
+    }
+    if (p == 0) {
+        // Root: everyone has arrived; start the release wave.
+        co_await ctx.write(releaseAddr(0), e, TimeCat::Sync);
+    } else {
+        co_await ctx.write(arriveAddr(p), e, TimeCat::Sync);
+        co_await ctx.spinUntil(
+            releaseAddr(parent(p)), [e](std::uint64_t v) { return v >= e; },
+            TimeCat::Sync);
+        if (!children(p).empty())
+            co_await ctx.write(releaseAddr(p), e, TimeCat::Sync);
+    }
+}
+
+sim::SubTask<void>
+SyncSystem::barrierMp(Ctx &ctx)
+{
+    const int p = ctx.self();
+    const std::uint64_t e = ++epoch_[p];
+    const std::uint64_t nkids = children(p).size();
+
+    // Wait for arrive messages from all children subtrees.
+    if (nkids > 0) {
+        co_await ctx.waitUntil(
+            [this, p, nkids, e]() { return arrivals_[p] >= nkids * e; },
+            TimeCat::Sync);
+    }
+    if (p == 0) {
+        ++released_[0];
+        for (int c : children(0))
+            co_await ctx.send(c, hRelease_, {});
+    } else {
+        co_await ctx.send(parent(p), hArrive_, {});
+        co_await ctx.waitUntil(
+            [this, p, e]() { return released_[p] >= e; }, TimeCat::Sync);
+        // Non-leaf release cascading is done inside the handler.
+    }
+}
+
+} // namespace alewife::proc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synchronization subsystem: barriers for both programming styles.
+ *
+ * Shared-memory style uses a 4-ary combining tree of per-node arrive
+ * and release flags, each on its own cache line homed at its writer.
+ * Every flag line has at most five sharers (writer plus up to four
+ * readers), which keeps barrier traffic inside the LimitLESS hardware
+ * pointers — the tuned idiom for a limited-directory machine.
+ *
+ * Message-passing style uses the same 4-ary tree with arrive messages
+ * combining up toward the root and a release broadcast cascading down
+ * through handlers.
+ */
+
+#ifndef ALEWIFE_PROC_SYNC_HH
+#define ALEWIFE_PROC_SYNC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "msg/active_messages.hh"
+#include "sim/coro.hh"
+#include "sim/types.hh"
+
+namespace alewife::proc {
+
+class Ctx;
+
+/** Which barrier implementation Ctx::barrier() uses. */
+enum class SyncStyle : std::uint8_t
+{
+    SharedMemory,
+    MessagePassing,
+};
+
+/**
+ * Machine-wide synchronization state.
+ */
+class SyncSystem
+{
+  public:
+    SyncSystem(int nprocs, SyncStyle style);
+
+    /** Allocate the shared-memory flag lines (SharedMemory style). */
+    void setupSharedMemory(mem::AddressSpace &mem);
+
+    /** Register the arrive/release handlers (MessagePassing style). */
+    void setupMessagePassing(msg::HandlerRegistry &handlers);
+
+    SyncStyle style() const { return style_; }
+
+    /** Run one barrier episode for node @p ctx. */
+    sim::SubTask<void> barrier(Ctx &ctx);
+
+    // Tree helpers (4-ary, node 0 is the root).
+    int parent(int p) const { return (p - 1) / arity_; }
+    std::vector<int> children(int p) const;
+    int arity() const { return arity_; }
+
+  private:
+    sim::SubTask<void> barrierSm(Ctx &ctx);
+    sim::SubTask<void> barrierMp(Ctx &ctx);
+
+    Addr arriveAddr(int p) const;
+    Addr releaseAddr(int p) const;
+
+    int nprocs_;
+    SyncStyle style_;
+    int arity_ = 4;
+
+    // Shared-memory flags.
+    Addr arriveBase_ = 0;
+    Addr releaseBase_ = 0;
+    std::uint32_t lineBytes_ = 0;
+
+    // Per-node local state.
+    std::vector<std::uint64_t> epoch_;
+
+    // Message-passing state (node-local memory, updated by handlers).
+    std::vector<std::uint64_t> arrivals_;
+    std::vector<std::uint64_t> released_;
+    msg::HandlerId hArrive_ = -1;
+    msg::HandlerId hRelease_ = -1;
+};
+
+} // namespace alewife::proc
+
+#endif // ALEWIFE_PROC_SYNC_HH

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace alewife {
+
+bool
+EventHandle::pending() const
+{
+    return state_ && !state_->cancelled && !state_->fired;
+}
+
+void
+EventHandle::cancel()
+{
+    if (state_)
+        state_->cancelled = true;
+}
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        ALEWIFE_PANIC("event scheduled in the past: ", when, " < ", now_);
+    auto state = std::make_shared<EventHandle::State>();
+    state->fn = std::move(fn);
+    heap_.push(Entry{when, seq_++, state});
+    return EventHandle(state);
+}
+
+EventHandle
+EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+{
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (e.state->cancelled)
+            continue;
+        now_ = e.when;
+        e.state->fired = true;
+        ++executed_;
+        // Move the function out so the state can be released even if the
+        // callback schedules more events.
+        auto fn = std::move(e.state->fn);
+        fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+bool
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        // Skip over cancelled entries without advancing time.
+        if (heap_.top().state->cancelled) {
+            heap_.pop();
+            continue;
+        }
+        if (heap_.top().when > limit)
+            return false;
+        step();
+    }
+    return true;
+}
+
+bool
+EventQueue::empty() const
+{
+    // Cheap check: cancelled-only heaps still report non-empty; callers that
+    // need exactness should use runUntil(). This is only used by tests.
+    auto copy = heap_;
+    while (!copy.empty()) {
+        if (!copy.top().state->cancelled)
+            return false;
+        copy.pop();
+    }
+    return true;
+}
+
+} // namespace alewife

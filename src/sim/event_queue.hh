@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global EventQueue drives the whole machine. Events are ordered
+ * by (tick, insertion sequence) so simulations are fully deterministic.
+ * Events may be cancelled after scheduling (used by the processor model to
+ * push back a pending resume when an interrupt handler steals cycles).
+ */
+
+#ifndef ALEWIFE_SIM_EVENT_QUEUE_HH
+#define ALEWIFE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife {
+
+/**
+ * Handle to a scheduled event. Cancelling a dead handle is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event has neither fired nor been cancelled. */
+    bool pending() const;
+
+    /** Prevent the event from firing. Safe to call at any time. */
+    void cancel();
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * The global event queue. One instance per simulated machine.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    EventHandle schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle scheduleIn(Tick delay, std::function<void()> fn);
+
+    /** Run until the queue is empty. Returns final time. */
+    Tick run();
+
+    /**
+     * Run until the queue is empty or time would exceed @p limit.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool runUntil(Tick limit);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** True if no live events remain. */
+    bool empty() const;
+
+    /**
+     * Pop and run the next live event.
+     * @return false if no live event remained
+     */
+    bool processOne() { return step(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and run the next live event; returns false if none. */
+    bool step();
+
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace alewife
+
+#endif // ALEWIFE_SIM_EVENT_QUEUE_HH

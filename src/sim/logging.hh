@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 spirit.
+ *
+ * panic()  — a simulator bug: something that must never happen did.
+ * fatal()  — a user/configuration error the simulation cannot survive.
+ * warn()   — questionable but survivable condition.
+ */
+
+#ifndef ALEWIFE_SIM_LOGGING_HH
+#define ALEWIFE_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace alewife {
+
+/** Abort with a message; use for internal simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message; use for user/configuration errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    panicImpl(file, line, detail::formatAll(args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const Args &...args)
+{
+    fatalImpl(file, line, detail::formatAll(args...));
+}
+
+template <typename... Args>
+void
+warnAt(const char *file, int line, const Args &...args)
+{
+    warnImpl(file, line, detail::formatAll(args...));
+}
+
+} // namespace alewife
+
+#define ALEWIFE_PANIC(...) ::alewife::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define ALEWIFE_FATAL(...) ::alewife::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+#define ALEWIFE_WARN(...) ::alewife::warnAt(__FILE__, __LINE__, __VA_ARGS__)
+
+#endif // ALEWIFE_SIM_LOGGING_HH

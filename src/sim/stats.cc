@@ -1,0 +1,87 @@
+#include "sim/stats.hh"
+
+namespace alewife {
+
+const char *
+timeCatName(TimeCat c)
+{
+    switch (c) {
+      case TimeCat::Compute: return "compute";
+      case TimeCat::MemWait: return "mem+ni-wait";
+      case TimeCat::MsgOverhead: return "msg-overhead";
+      case TimeCat::Sync: return "sync";
+      default: return "?";
+    }
+}
+
+Tick
+TimeBreakdown::total() const
+{
+    Tick sum = 0;
+    for (Tick t : ticks)
+        sum += t;
+    return sum;
+}
+
+TimeBreakdown &
+TimeBreakdown::operator+=(const TimeBreakdown &o)
+{
+    for (std::size_t i = 0; i < ticks.size(); ++i)
+        ticks[i] += o.ticks[i];
+    return *this;
+}
+
+const char *
+volCatName(VolCat c)
+{
+    switch (c) {
+      case VolCat::Invalidates: return "invalidates";
+      case VolCat::Requests: return "requests";
+      case VolCat::Headers: return "headers";
+      case VolCat::Data: return "data";
+      default: return "?";
+    }
+}
+
+std::uint64_t
+VolumeBreakdown::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : bytes)
+        sum += b;
+    return sum;
+}
+
+VolumeBreakdown &
+VolumeBreakdown::operator+=(const VolumeBreakdown &o)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] += o.bytes[i];
+    return *this;
+}
+
+MachineCounters &
+MachineCounters::operator+=(const MachineCounters &o)
+{
+    packetsInjected += o.packetsInjected;
+    packetsDelivered += o.packetsDelivered;
+    cacheHits += o.cacheHits;
+    cacheMisses += o.cacheMisses;
+    localMisses += o.localMisses;
+    remoteMisses += o.remoteMisses;
+    invalidationsSent += o.invalidationsSent;
+    limitlessTraps += o.limitlessTraps;
+    interruptsTaken += o.interruptsTaken;
+    messagesPolled += o.messagesPolled;
+    prefetchesIssued += o.prefetchesIssued;
+    prefetchesUseful += o.prefetchesUseful;
+    prefetchesUseless += o.prefetchesUseless;
+    dmaTransfers += o.dmaTransfers;
+    lockAcquires += o.lockAcquires;
+    lockRetries += o.lockRetries;
+    barrierEpisodes += o.barrierEpisodes;
+    niQueueFullStalls += o.niQueueFullStalls;
+    return *this;
+}
+
+} // namespace alewife

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Statistics containers mirroring the Alewife CMMU hardware counters.
+ *
+ * The paper reports two kinds of breakdowns:
+ *  - Figure 4: execution time split into synchronization, message overhead,
+ *    memory + network-interface wait, and compute (TimeBreakdown).
+ *  - Figure 5: communication volume split into invalidates, requests,
+ *    headers-for-data, and data (VolumeBreakdown).
+ */
+
+#ifndef ALEWIFE_SIM_STATS_HH
+#define ALEWIFE_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace alewife {
+
+/** Execution-time categories of Figure 4. */
+enum class TimeCat : std::uint8_t
+{
+    Compute = 0,     ///< useful computation
+    MemWait,         ///< stalled on cache misses / NI resources
+    MsgOverhead,     ///< send/receive/interrupt/poll/gather-scatter cycles
+    Sync,            ///< barriers, lock acquisition, spin-waiting
+    NumCats
+};
+
+/** Human-readable name for a time category. */
+const char *timeCatName(TimeCat c);
+
+/** Per-node (or aggregated) execution-time breakdown, in ticks. */
+struct TimeBreakdown
+{
+    std::array<Tick, static_cast<std::size_t>(TimeCat::NumCats)> ticks{};
+
+    void
+    add(TimeCat c, Tick t)
+    {
+        ticks[static_cast<std::size_t>(c)] += t;
+    }
+
+    Tick get(TimeCat c) const { return ticks[static_cast<std::size_t>(c)]; }
+
+    Tick total() const;
+
+    TimeBreakdown &operator+=(const TimeBreakdown &o);
+
+    /** Each category in cycles. */
+    double cycles(TimeCat c) const { return ticksToCycles(get(c)); }
+};
+
+/** Communication-volume categories of Figure 5. */
+enum class VolCat : std::uint8_t
+{
+    Invalidates = 0, ///< invalidations and their acknowledgements
+    Requests,        ///< read/write/upgrade/rmw request packets
+    Headers,         ///< headers of data-carrying packets
+    Data,            ///< payload bytes (cache lines / message bodies)
+    NumCats
+};
+
+/** Human-readable name for a volume category. */
+const char *volCatName(VolCat c);
+
+/** Bytes injected into the network, by category. */
+struct VolumeBreakdown
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(VolCat::NumCats)>
+        bytes{};
+
+    void
+    add(VolCat c, std::uint64_t b)
+    {
+        bytes[static_cast<std::size_t>(c)] += b;
+    }
+
+    std::uint64_t
+    get(VolCat c) const
+    {
+        return bytes[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t total() const;
+
+    VolumeBreakdown &operator+=(const VolumeBreakdown &o);
+};
+
+/** Miscellaneous machine-wide counters (CMMU statistics registers). */
+struct MachineCounters
+{
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t localMisses = 0;
+    std::uint64_t remoteMisses = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t limitlessTraps = 0;
+    std::uint64_t interruptsTaken = 0;
+    std::uint64_t messagesPolled = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    std::uint64_t prefetchesUseless = 0;
+    std::uint64_t dmaTransfers = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t lockRetries = 0;
+    std::uint64_t barrierEpisodes = 0;
+    std::uint64_t niQueueFullStalls = 0;
+
+    MachineCounters &operator+=(const MachineCounters &o);
+};
+
+} // namespace alewife
+
+#endif // ALEWIFE_SIM_STATS_HH

@@ -1,0 +1,93 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace alewife {
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Coh: return "coh";
+      case TraceCat::Net: return "net";
+      case TraceCat::Msg: return "msg";
+      case TraceCat::Proc: return "proc";
+      case TraceCat::Sync: return "sync";
+      default: return "?";
+    }
+}
+
+Trace::State &
+Trace::state()
+{
+    static State s;
+    if (!s.envRead) {
+        s.envRead = true;
+        initFromEnv();
+    }
+    return s;
+}
+
+void
+Trace::enable(TraceCat c, bool on)
+{
+    state().on[static_cast<std::size_t>(c)] = on;
+}
+
+void
+Trace::enableAll(bool on)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
+        state().on[i] = on;
+    }
+}
+
+void
+Trace::initFromEnv()
+{
+    // Mark as read *first*: state() calls us during construction.
+    State &s = state();
+    const char *env = std::getenv("ALEWIFE_TRACE");
+    if (!env)
+        return;
+    const std::string spec(env);
+    if (spec == "all") {
+        for (auto &b : s.on)
+            b = true;
+        return;
+    }
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
+            if (tok == traceCatName(static_cast<TraceCat>(i)))
+                s.on[i] = true;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+}
+
+void
+Trace::emit(TraceCat c, Tick now, const std::string &msg)
+{
+    ++state().lines;
+    std::fprintf(stderr, "%12.2f [%s] %s\n", ticksToCycles(now),
+                 traceCatName(c), msg.c_str());
+}
+
+std::uint64_t
+Trace::linesEmitted()
+{
+    return state().lines;
+}
+
+} // namespace alewife

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * EM3D workload: random irregular bipartite graph.
+ *
+ * Follows the Split-C EM3D generator (Culler et al. 93) as used by the
+ * paper: E nodes on one side, H nodes on the other; each node has
+ * `degree` in-edges from the opposite side; a fraction `pctRemote` of
+ * edges lands on a different processor within `span` neighbouring
+ * partitions. Edge weights are deterministic pseudo-random doubles.
+ */
+
+#ifndef ALEWIFE_WORKLOAD_BIPARTITE_HH
+#define ALEWIFE_WORKLOAD_BIPARTITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace alewife::workload {
+
+/** Parameters of an EM3D graph. */
+struct BipartiteParams
+{
+    int nodesPerSide = 2000;   ///< paper: 10000
+    int degree = 10;           ///< paper: 10
+    double pctRemote = 0.20;   ///< paper: 20%
+    int span = 3;              ///< paper: 3
+    int nprocs = 32;
+    std::uint64_t seed = 12345;
+};
+
+/** One directed dependency edge (value flows src side -> dst side). */
+struct BipartiteEdge
+{
+    std::int32_t src; ///< index on the producing side
+    double weight;
+};
+
+/**
+ * The generated graph. Sides are "E" and "H"; each side's nodes are
+ * block-partitioned over processors (node i lives on proc owner(i)).
+ */
+struct BipartiteGraph
+{
+    BipartiteParams params;
+
+    /** In-edges of each E node (sources are H indices), CSR layout. */
+    std::vector<std::int32_t> eRow;
+    std::vector<BipartiteEdge> eEdges;
+
+    /** In-edges of each H node (sources are E indices). */
+    std::vector<std::int32_t> hRow;
+    std::vector<BipartiteEdge> hEdges;
+
+    /** Initial node values. */
+    std::vector<double> eInit;
+    std::vector<double> hInit;
+
+    int owner(std::int32_t node) const;
+    std::int32_t firstNode(int proc) const;
+    std::int32_t numNodesOn(int proc) const;
+
+    /**
+     * Run the computation sequentially for @p iters iterations and
+     * return the checksum (sum of all node values).
+     */
+    double sequential(int iters) const;
+};
+
+/** Generate a graph deterministically from @p p. */
+BipartiteGraph makeBipartite(const BipartiteParams &p);
+
+} // namespace alewife::workload
+
+#endif // ALEWIFE_WORKLOAD_BIPARTITE_HH

@@ -1,0 +1,142 @@
+#include "workload/molecules.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace alewife::workload {
+
+namespace {
+
+constexpr double kSpring = 0.001;
+constexpr double kDt = 0.01;
+
+/**
+ * Recursive coordinate bisection: split the index range into nparts
+ * contiguous groups by recursively halving along the widest dimension.
+ */
+void
+rcb(std::vector<Molecule> &mols, std::size_t lo, std::size_t hi,
+    int part_lo, int nparts, std::vector<std::int32_t> &first_of)
+{
+    first_of[part_lo] = static_cast<std::int32_t>(lo);
+    if (nparts <= 1 || hi - lo <= 1) {
+        for (int q = 1; q < nparts; ++q)
+            first_of[part_lo + q] = static_cast<std::int32_t>(hi);
+        return;
+    }
+    // Find the widest spatial dimension of this group.
+    double mins[3] = {1e30, 1e30, 1e30}, maxs[3] = {-1e30, -1e30, -1e30};
+    for (std::size_t k = lo; k < hi; ++k) {
+        for (int d = 0; d < 3; ++d) {
+            mins[d] = std::min(mins[d], mols[k].x[d]);
+            maxs[d] = std::max(maxs[d], mols[k].x[d]);
+        }
+    }
+    int dim = 0;
+    for (int d = 1; d < 3; ++d) {
+        if (maxs[d] - mins[d] > maxs[dim] - mins[dim])
+            dim = d;
+    }
+    const int left_parts = nparts / 2;
+    const std::size_t mid =
+        lo + (hi - lo) * left_parts / nparts;
+    std::nth_element(mols.begin() + lo, mols.begin() + mid,
+                     mols.begin() + hi,
+                     [dim](const Molecule &a, const Molecule &b) {
+                         return a.x[dim] < b.x[dim];
+                     });
+    rcb(mols, lo, mid, part_lo, left_parts, first_of);
+    rcb(mols, mid, hi, part_lo + left_parts, nparts - left_parts,
+        first_of);
+}
+
+} // namespace
+
+int
+MoldynSystem::owner(std::int32_t mol) const
+{
+    // firstOf is ascending; binary search the containing block.
+    int lo = 0, hi = params.nprocs;
+    while (lo + 1 < hi) {
+        const int mid = (lo + hi) / 2;
+        if (mol >= firstOf[mid])
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::int32_t
+MoldynSystem::numMoleculesOn(int proc) const
+{
+    return firstOf[proc + 1] - firstOf[proc];
+}
+
+double
+MoldynSystem::sequential(int iters) const
+{
+    std::vector<Molecule> m = init;
+    std::vector<double> f(3 * m.size(), 0.0);
+    for (int it = 0; it < iters; ++it) {
+        std::fill(f.begin(), f.end(), 0.0);
+        for (const Pair &p : pairs) {
+            for (int d = 0; d < 3; ++d) {
+                const double dx = m[p.j].x[d] - m[p.i].x[d];
+                f[3 * p.i + d] += kSpring * dx;
+                f[3 * p.j + d] -= kSpring * dx;
+            }
+        }
+        for (std::size_t i = 0; i < m.size(); ++i) {
+            for (int d = 0; d < 3; ++d) {
+                m[i].v[d] += f[3 * i + d] * kDt;
+                m[i].x[d] += m[i].v[d] * kDt;
+            }
+        }
+    }
+    double sum = 0.0;
+    for (const Molecule &mol : m)
+        for (int d = 0; d < 3; ++d)
+            sum += mol.x[d];
+    return sum;
+}
+
+MoldynSystem
+makeMoldyn(const MoldynParams &p)
+{
+    if (p.molecules < p.nprocs)
+        ALEWIFE_FATAL("fewer molecules than processors");
+    Rng rng(p.seed);
+    MoldynSystem s;
+    s.params = p;
+    s.init.resize(p.molecules);
+    for (auto &m : s.init) {
+        for (int d = 0; d < 3; ++d) {
+            m.x[d] = rng.nextDouble() * p.boxSide;
+            m.v[d] = rng.nextGaussian(); // Maxwellian components
+        }
+    }
+
+    s.firstOf.assign(p.nprocs + 1, 0);
+    rcb(s.init, 0, s.init.size(), 0, p.nprocs, s.firstOf);
+    s.firstOf[p.nprocs] = p.molecules;
+
+    // Pair list: all pairs within the cutoff radius.
+    for (std::int32_t i = 0; i < p.molecules; ++i) {
+        for (std::int32_t j = i + 1; j < p.molecules; ++j) {
+            double d2 = 0.0;
+            for (int d = 0; d < 3; ++d) {
+                const double dx = s.init[j].x[d] - s.init[i].x[d];
+                d2 += dx * dx;
+            }
+            if (d2 < p.cutoff * p.cutoff)
+                s.pairs.push_back({i, j});
+        }
+    }
+    return s;
+}
+
+} // namespace alewife::workload

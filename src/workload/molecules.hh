@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MOLDYN workload: molecules in a cuboidal region with a Maxwellian
+ * velocity distribution, a cutoff-radius interaction list rebuilt
+ * periodically, and a recursive-coordinate-bisection (RCB) partition
+ * (Berger-Bokhari) assigning molecule groups to processors
+ * (Section 4.4 of the paper).
+ */
+
+#ifndef ALEWIFE_WORKLOAD_MOLECULES_HH
+#define ALEWIFE_WORKLOAD_MOLECULES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace alewife::workload {
+
+/** Parameters of the molecular-dynamics box. */
+struct MoldynParams
+{
+    int molecules = 1024;
+    double boxSide = 8.0;     ///< cuboid side length
+    double cutoff = 1.3;      ///< interaction cutoff radius
+    int nprocs = 32;
+    std::uint64_t seed = 31337;
+};
+
+/** One molecule's state. */
+struct Molecule
+{
+    double x[3];
+    double v[3];
+};
+
+/** An interacting pair (i < j), with both owners cached. */
+struct Pair
+{
+    std::int32_t i;
+    std::int32_t j;
+};
+
+/**
+ * The generated system: molecules reordered so that each processor owns
+ * a contiguous block chosen by RCB.
+ */
+struct MoldynSystem
+{
+    MoldynParams params;
+    std::vector<Molecule> init;       ///< initial state, RCB order
+    std::vector<std::int32_t> firstOf; ///< block starts, size nprocs+1
+    std::vector<Pair> pairs;          ///< cutoff pairs, i < j
+
+    int owner(std::int32_t mol) const;
+    std::int32_t numMoleculesOn(int proc) const;
+
+    /**
+     * Reference computation: @p iters steps of
+     *   force phase: for each pair, a spring-like force
+     *     f_i += k*(x_j - x_i), f_j -= k*(x_j - x_i)
+     *   update phase: v += f*dt; x += v*dt (no list rebuild).
+     * @return checksum (sum of all coordinates)
+     */
+    double sequential(int iters) const;
+};
+
+/** Generate the system deterministically (RCB + pair list). */
+MoldynSystem makeMoldyn(const MoldynParams &p);
+
+} // namespace alewife::workload
+
+#endif // ALEWIFE_WORKLOAD_MOLECULES_HH

@@ -1,0 +1,104 @@
+#include "workload/sparse_matrix.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace alewife::workload {
+
+std::vector<std::int32_t>
+TriangularSystem::rowsOf(int proc) const
+{
+    std::vector<std::int32_t> out;
+    for (std::int32_t r = proc; r < params.rows; r += params.nprocs)
+        out.push_back(r);
+    return out;
+}
+
+std::vector<double>
+TriangularSystem::solve() const
+{
+    std::vector<double> x(params.rows, 0.0);
+    for (std::int32_t r = 0; r < params.rows; ++r) {
+        double acc = b[r];
+        for (std::int32_t k = row[r]; k < row[r + 1]; ++k)
+            acc -= entries[k].val * x[entries[k].col];
+        x[r] = acc / diag[r];
+    }
+    return x;
+}
+
+double
+TriangularSystem::sequential() const
+{
+    const std::vector<double> x = solve();
+    double sum = 0.0;
+    for (double v : x)
+        sum += v;
+    return sum;
+}
+
+int
+TriangularSystem::levels() const
+{
+    std::vector<int> level(params.rows, 0);
+    int deepest = 0;
+    for (std::int32_t r = 0; r < params.rows; ++r) {
+        int lv = 0;
+        for (std::int32_t k = row[r]; k < row[r + 1]; ++k)
+            lv = std::max(lv, level[entries[k].col] + 1);
+        level[r] = lv;
+        deepest = std::max(deepest, lv);
+    }
+    return deepest + 1;
+}
+
+TriangularSystem
+makeTriangular(const TriangularParams &p)
+{
+    if (p.rows < p.nprocs)
+        ALEWIFE_FATAL("triangular system smaller than the machine");
+    Rng rng(p.seed);
+    TriangularSystem t;
+    t.params = p;
+    t.row.resize(p.rows + 1);
+    t.diag.resize(p.rows);
+    t.b.resize(p.rows);
+
+    for (std::int32_t r = 0; r < p.rows; ++r) {
+        t.row[r] = static_cast<std::int32_t>(t.entries.size());
+        // Rows early in the order have fewer dependencies (sources).
+        const int maxdeps =
+            std::min<std::int32_t>(r, p.avgInEdges * 2);
+        const int ndeps = maxdeps == 0
+                              ? 0
+                              : static_cast<int>(
+                                    rng.nextBounded(maxdeps + 1));
+        std::vector<std::int32_t> cols;
+        for (int k = 0; k < ndeps; ++k) {
+            std::int32_t c;
+            if (rng.nextDouble() < 0.8) {
+                const std::int32_t lo =
+                    std::max<std::int32_t>(0, r - p.band);
+                c = lo + static_cast<std::int32_t>(
+                        rng.nextBounded(r - lo));
+            } else {
+                c = static_cast<std::int32_t>(rng.nextBounded(r));
+            }
+            cols.push_back(c);
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        for (std::int32_t c : cols) {
+            // Keep the system well-conditioned: small off-diagonals.
+            t.entries.push_back({c, rng.nextRange(-0.05, 0.05)});
+        }
+        t.diag[r] = rng.nextRange(1.0, 2.0);
+        t.b[r] = rng.nextRange(-1.0, 1.0);
+    }
+    t.row[p.rows] = static_cast<std::int32_t>(t.entries.size());
+    return t;
+}
+
+} // namespace alewife::workload

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ICCG workload: synthetic level-structured sparse triangular system.
+ *
+ * The paper solves the triangular systems arising from an incomplete
+ * Cholesky factorization of BCSSTK32 (a 2M-element Harwell-Boeing
+ * automobile-chassis matrix). That dataset is not available offline, so
+ * we synthesize a lower-triangular matrix with the same computational
+ * character: a directed acyclic dependence graph with a banded-plus-
+ * random sparsity pattern, a deep level structure, and a couple of
+ * in-edges per row on average. The substitution preserves exactly what
+ * drives the paper's ICCG results — fine-grained dataflow communication
+ * along DAG edges with low computation per edge (2 FLOPs).
+ */
+
+#ifndef ALEWIFE_WORKLOAD_SPARSE_MATRIX_HH
+#define ALEWIFE_WORKLOAD_SPARSE_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace alewife::workload {
+
+/** Parameters of the synthetic triangular system. */
+struct TriangularParams
+{
+    int rows = 2000;
+    int avgInEdges = 3;  ///< sub-diagonal nonzeros per row (approx)
+    int band = 64;       ///< most dependencies within this distance
+    int nprocs = 32;
+    std::uint64_t seed = 4242;
+};
+
+/** One sub-diagonal nonzero: row depends on col. */
+struct TriEntry
+{
+    std::int32_t col;
+    double val;
+};
+
+/**
+ * The system L x = b with unit-ish diagonal, in CSR by row.
+ * Rows are wrap-mapped (interleaved) over processors for load balance,
+ * as in parallel ICCG implementations.
+ */
+struct TriangularSystem
+{
+    TriangularParams params;
+    std::vector<std::int32_t> row;  ///< CSR offsets, size rows+1
+    std::vector<TriEntry> entries;  ///< in-edges (dependencies)
+    std::vector<double> diag;       ///< diagonal of L
+    std::vector<double> b;          ///< right-hand side
+
+    /** Owning processor of a row (wrap mapping). */
+    int owner(std::int32_t r) const { return r % params.nprocs; }
+
+    /** Rows owned by @p proc, in ascending order. */
+    std::vector<std::int32_t> rowsOf(int proc) const;
+
+    /** Number of in-edges of row @p r. */
+    std::int32_t
+    inDegree(std::int32_t r) const
+    {
+        return row[r + 1] - row[r];
+    }
+
+    /** Sequential forward substitution; returns sum of x. */
+    double sequential() const;
+
+    /** Full solution vector (for per-element verification). */
+    std::vector<double> solve() const;
+
+    /** Longest dependence chain (the DAG's critical path length). */
+    int levels() const;
+};
+
+/** Generate a system deterministically. */
+TriangularSystem makeTriangular(const TriangularParams &p);
+
+} // namespace alewife::workload
+
+#endif // ALEWIFE_WORKLOAD_SPARSE_MATRIX_HH

@@ -1,0 +1,136 @@
+#include "workload/unstructured_mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace alewife::workload {
+
+namespace {
+
+struct Point
+{
+    double x, y, z;
+    std::int32_t orig;
+};
+
+} // namespace
+
+int
+UnstructuredMesh::owner(std::int32_t node) const
+{
+    const int per = (params.nodes + params.nprocs - 1) / params.nprocs;
+    return node / per;
+}
+
+std::int32_t
+UnstructuredMesh::firstNode(int proc) const
+{
+    const int per = (params.nodes + params.nprocs - 1) / params.nprocs;
+    return std::min<std::int32_t>(proc * per, params.nodes);
+}
+
+std::int32_t
+UnstructuredMesh::numNodesOn(int proc) const
+{
+    return std::min<std::int32_t>(firstNode(proc + 1), params.nodes)
+           - firstNode(proc);
+}
+
+double
+UnstructuredMesh::sequential(int iters) const
+{
+    std::vector<double> x = xInit;
+    std::vector<double> f(x.size(), 0.0);
+    for (int it = 0; it < iters; ++it) {
+        for (const MeshEdge &e : edges) {
+            const double c = e.w * (x[e.u] - x[e.v]);
+            f[e.u] += c;
+            f[e.v] -= c;
+        }
+        for (std::size_t n = 0; n < x.size(); ++n) {
+            x[n] += 0.10 * f[n];
+            f[n] = 0.0;
+        }
+    }
+    double sum = 0.0;
+    for (double v : x)
+        sum += v;
+    return sum;
+}
+
+UnstructuredMesh
+makeMesh(const MeshParams &p)
+{
+    if (p.nodes < p.nprocs)
+        ALEWIFE_FATAL("mesh smaller than the machine");
+    Rng rng(p.seed);
+
+    // Scatter points, then sort along a space-filling-ish key (z-major
+    // with jitter) so that block partitions are spatially coherent.
+    std::vector<Point> pts(p.nodes);
+    for (std::int32_t i = 0; i < p.nodes; ++i) {
+        pts[i] = {rng.nextDouble(), rng.nextDouble(), rng.nextDouble(),
+                  i};
+    }
+    std::sort(pts.begin(), pts.end(), [](const Point &a, const Point &b) {
+        const double ka = std::floor(a.z * 4) * 100 + std::floor(a.y * 4)
+                          * 10 + a.x;
+        const double kb = std::floor(b.z * 4) * 100 + std::floor(b.y * 4)
+                          * 10 + b.x;
+        return ka < kb;
+    });
+
+    UnstructuredMesh m;
+    m.params = p;
+
+    // Connect each node to avgDegree spatial neighbours: mostly nearby
+    // in sorted order (local), occasionally farther (remote edges).
+    const std::int64_t target =
+        static_cast<std::int64_t>(p.nodes) * p.avgDegree / 2;
+    std::vector<std::pair<std::int32_t, std::int32_t>> seen;
+    for (std::int64_t k = 0; k < target; ++k) {
+        const std::int32_t u =
+            static_cast<std::int32_t>(rng.nextBounded(p.nodes));
+        std::int32_t span;
+        if (rng.nextDouble() < 0.85)
+            span = 1 + static_cast<std::int32_t>(rng.nextBounded(20));
+        else
+            span = 1 + static_cast<std::int32_t>(
+                       rng.nextBounded(p.nodes / 4));
+        std::int32_t v = u + (rng.nextDouble() < 0.5 ? span : -span);
+        if (v < 0)
+            v = u + span;
+        if (v >= p.nodes)
+            v = u - span;
+        if (v < 0 || v == u)
+            continue;
+        MeshEdge e;
+        e.u = std::min(u, v);
+        e.v = std::max(u, v);
+        e.w = rng.nextRange(0.01, 0.2);
+        m.edges.push_back(e);
+    }
+
+    // Deduplicate and order edges by owning processor of u.
+    std::sort(m.edges.begin(), m.edges.end(),
+              [](const MeshEdge &a, const MeshEdge &b) {
+                  if (a.u != b.u)
+                      return a.u < b.u;
+                  return a.v < b.v;
+              });
+    m.edges.erase(std::unique(m.edges.begin(), m.edges.end(),
+                              [](const MeshEdge &a, const MeshEdge &b) {
+                                  return a.u == b.u && a.v == b.v;
+                              }),
+                  m.edges.end());
+
+    m.xInit.resize(p.nodes);
+    for (auto &v : m.xInit)
+        v = rng.nextRange(0.0, 2.0);
+    return m;
+}
+
+} // namespace alewife::workload

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * EM3D integration tests: every mechanism must produce the sequential
+ * reference result, and the qualitative Section 4.1/5.1 findings must
+ * hold on the simulated Alewife.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/em3d.hh"
+#include "core/experiments.hh"
+
+namespace alewife {
+namespace {
+
+using core::Mechanism;
+
+apps::Em3d::Params
+smallParams()
+{
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 512;
+    p.graph.degree = 6;
+    p.graph.pctRemote = 0.2;
+    p.graph.span = 3;
+    p.graph.nprocs = 32;
+    p.graph.seed = 7;
+    p.iters = 3;
+    return p;
+}
+
+class Em3dAllMechanisms : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(Em3dAllMechanisms, MatchesSequentialReference)
+{
+    apps::Em3d app(smallParams());
+    core::RunSpec spec;
+    spec.mechanism = GetParam();
+    const core::RunResult r = core::runApp(app, spec, false);
+    EXPECT_TRUE(r.verified)
+        << "got " << r.checksum << " want " << r.reference;
+    EXPECT_GT(r.runtimeCycles, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, Em3dAllMechanisms,
+    ::testing::Values(Mechanism::SharedMemory,
+                      Mechanism::SharedMemoryPrefetch,
+                      Mechanism::MpInterrupt, Mechanism::MpPolling,
+                      Mechanism::BulkTransfer),
+    [](const auto &info) {
+        // gtest parameter names must be alphanumeric.
+        switch (info.param) {
+          case Mechanism::SharedMemory: return std::string("SM");
+          case Mechanism::SharedMemoryPrefetch: return std::string("SMPF");
+          case Mechanism::MpInterrupt: return std::string("MPI");
+          case Mechanism::MpPolling: return std::string("MPP");
+          case Mechanism::BulkTransfer: return std::string("BULK");
+          default: return std::string("X");
+        }
+    });
+
+TEST(Em3dShape, SharedMemoryVolumeFarExceedsMessagePassing)
+{
+    const auto factory = apps::Em3d::factory(smallParams());
+    MachineConfig base;
+    const auto rs = core::runAllMechanisms(
+        factory, base,
+        {Mechanism::SharedMemory, Mechanism::MpInterrupt});
+    const double sm = static_cast<double>(rs[0].volume.total());
+    const double mp = static_cast<double>(rs[1].volume.total());
+    // Paper: up to ~6x; require at least 2.5x on the small instance.
+    EXPECT_GT(sm, 2.5 * mp);
+}
+
+TEST(Em3dShape, SharedMemoryCompetitiveOnAlewife)
+{
+    // Use an instance closer to the paper's scale (per-node work must
+    // amortize the barriers, as it does at 10000 nodes / 32 procs).
+    apps::Em3d::Params p = smallParams();
+    p.graph.nodesPerSide = 2048;
+    p.graph.degree = 8;
+    p.iters = 2;
+    const auto factory = apps::Em3d::factory(p);
+    MachineConfig base;
+    const auto rs = core::runAllMechanisms(
+        factory, base,
+        {Mechanism::SharedMemory, Mechanism::MpInterrupt});
+    // Figure 4: SM and MP in the same ballpark on Alewife (the paper
+    // shows rough parity at 10000 nodes; our scaled-down instance
+    // amortizes barriers less, so allow up to 1.8x).
+    const double ratio = rs[0].runtimeCycles / rs[1].runtimeCycles;
+    EXPECT_GT(ratio, 1.0 / 1.8);
+    EXPECT_LT(ratio, 1.8);
+}
+
+TEST(Em3dShape, PrefetchingHelpsEm3d)
+{
+    const auto factory = apps::Em3d::factory(smallParams());
+    MachineConfig base;
+    const auto rs = core::runAllMechanisms(
+        factory, base,
+        {Mechanism::SharedMemory, Mechanism::SharedMemoryPrefetch});
+    // Figure 4: EM3D is the application where prefetch clearly wins.
+    EXPECT_LT(rs[1].runtimeCycles, rs[0].runtimeCycles);
+}
+
+TEST(Em3dShape, MechanismsAllVerifyUnderCrossTraffic)
+{
+    apps::Em3d app(smallParams());
+    core::RunSpec spec;
+    spec.mechanism = Mechanism::SharedMemory;
+    spec.crossTraffic.bytesPerCycle = 12.0;
+    spec.crossTraffic.messageBytes = 64;
+    const auto r = core::runApp(app, spec, false);
+    EXPECT_TRUE(r.verified);
+
+    apps::Em3d app2(smallParams());
+    spec.crossTraffic.bytesPerCycle = 0.0;
+    const auto r0 = core::runApp(app2, spec, false);
+    // Less bisection available => slower.
+    EXPECT_GT(r.runtimeCycles, r0.runtimeCycles);
+}
+
+} // namespace
+} // namespace alewife

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Coherence-protocol correctness tests: every test runs real node
+ * programs on a small machine and checks architectural values and
+ * counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "../test_util.hh"
+
+namespace alewife {
+namespace {
+
+using proc::Ctx;
+using test::smallConfig;
+
+struct Shared
+{
+    Addr a = 0;
+    std::vector<double> out;
+    std::vector<Tick> cycles;
+};
+
+Machine
+makeMachine(MachineConfig cfg = smallConfig())
+{
+    return Machine(cfg, proc::SyncStyle::SharedMemory,
+                   msg::RecvMode::Interrupt);
+}
+
+sim::Thread
+readerProgram(Ctx &ctx, Shared &s)
+{
+    if (ctx.self() == 1) {
+        const std::uint64_t v = co_await ctx.read(s.a);
+        s.out[1] = Ctx::asDouble(v);
+    }
+    co_return;
+}
+
+TEST(Coherence, RemoteReadReturnsHomeValue)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 6.25);
+    m.run([&](Ctx &ctx) { return readerProgram(ctx, s); });
+    EXPECT_DOUBLE_EQ(s.out[1], 6.25);
+    EXPECT_EQ(m.counters().remoteMisses, 1u);
+    EXPECT_EQ(m.counters().localMisses, 0u);
+}
+
+sim::Thread
+writeThenReadProgram(Ctx &ctx, Shared &s)
+{
+    // Node 0 writes; node 1 then reads the dirty line (recall path).
+    if (ctx.self() == 0) {
+        co_await ctx.writeD(s.a, 9.5);
+    } else if (ctx.self() == 1) {
+        co_await ctx.compute(3000); // let the write land first
+        s.out[1] = Ctx::asDouble(co_await ctx.read(s.a));
+    }
+    co_return;
+}
+
+TEST(Coherence, DirtyRemoteReadRecallsFromOwner)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 1.0);
+    m.run([&](Ctx &ctx) { return writeThenReadProgram(ctx, s); });
+    EXPECT_DOUBLE_EQ(s.out[1], 9.5);
+    // Memory at the home must also have been updated by the writeback.
+    EXPECT_DOUBLE_EQ(m.mem().loadDouble(s.a), 9.5);
+}
+
+sim::Thread
+invalidationProgram(Ctx &ctx, Shared &s, std::vector<double> &second)
+{
+    const int self = ctx.self();
+    if (self != 0) {
+        s.out[self] = Ctx::asDouble(co_await ctx.read(s.a));
+        co_await ctx.barrier();
+        co_await ctx.barrier();
+        second[self] = Ctx::asDouble(co_await ctx.read(s.a));
+    } else {
+        co_await ctx.barrier();
+        co_await ctx.writeD(s.a, 4.5);
+        co_await ctx.barrier();
+        second[0] = Ctx::asDouble(co_await ctx.read(s.a));
+    }
+    co_return;
+}
+
+TEST(Coherence, WriteInvalidatesAllSharers)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    std::vector<double> second(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 0);
+    m.mem().storeDouble(s.a, 2.5);
+    m.run([&](Ctx &ctx) {
+        return invalidationProgram(ctx, s, second);
+    });
+    for (int i = 1; i < m.nodes(); ++i) {
+        EXPECT_DOUBLE_EQ(s.out[i], 2.5) << i;
+        EXPECT_DOUBLE_EQ(second[i], 4.5) << i;
+    }
+    EXPECT_GT(m.counters().invalidationsSent, 0u);
+}
+
+TEST(Coherence, ManySharersTriggersLimitless)
+{
+    MachineConfig cfg; // 32 nodes: well beyond 5 hardware pointers
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    std::vector<double> second(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 0);
+    m.mem().storeDouble(s.a, 2.5);
+    m.run([&](Ctx &ctx) {
+        return invalidationProgram(ctx, s, second);
+    });
+    EXPECT_GT(m.counters().limitlessTraps, 0u);
+    for (int i = 1; i < m.nodes(); ++i)
+        EXPECT_DOUBLE_EQ(second[i], 4.5);
+}
+
+sim::Thread
+rmwProgram(Ctx &ctx, Shared &s, int reps)
+{
+    for (int i = 0; i < reps; ++i) {
+        co_await ctx.rmw(s.a,
+                         [](std::uint64_t v) { return v + 1; });
+    }
+    co_return;
+}
+
+TEST(Coherence, RmwIsAtomicAcrossNodes)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 3);
+    const int reps = 20;
+    m.run([&](Ctx &ctx) { return rmwProgram(ctx, s, reps); });
+    EXPECT_EQ(m.debugWord(s.a),
+              static_cast<std::uint64_t>(m.nodes()) * reps);
+}
+
+sim::Thread
+evictionProgram(Ctx &ctx, Shared &s, Addr conflicting, int nlines)
+{
+    if (ctx.self() != 0)
+        co_return;
+    // Write one line, then march through addresses mapping to the same
+    // set to force the dirty victim out.
+    co_await ctx.writeD(s.a, 7.75);
+    for (int i = 0; i < nlines; ++i) {
+        // Same-set lines in a 1024-byte direct-mapped cache repeat
+        // every 1024 bytes.
+        co_await ctx.read(conflicting + static_cast<Addr>(i) * 1024);
+    }
+    co_return;
+}
+
+TEST(Coherence, DirtyVictimWritesBackToHome)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.cacheBytes = 1024; // tiny cache: 64 sets
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    Shared s;
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 4);
+    // A big arena to provide set-conflicting lines: pick the first
+    // address in the arena congruent to s.a modulo the cache size.
+    const Addr arena = m.mem().alloc(8 * 1024, mem::HomePolicy::Fixed, 4);
+    Addr base = arena + ((s.a % 1024) + 1024 - (arena % 1024)) % 1024;
+    m.mem().storeDouble(s.a, 0.0);
+    m.run([&](Ctx &ctx) {
+        return evictionProgram(ctx, s, base, 3);
+    });
+    // After eviction the home memory holds the written value.
+    EXPECT_DOUBLE_EQ(m.mem().loadDouble(s.a), 7.75);
+}
+
+sim::Thread
+lockProgram(Ctx &ctx, Shared &s, Addr data, int reps)
+{
+    for (int i = 0; i < reps; ++i) {
+        co_await ctx.lock(s.a);
+        // Non-atomic read-modify-write protected by the lock.
+        const std::uint64_t v = co_await ctx.read(data, TimeCat::Sync);
+        co_await ctx.compute(5);
+        co_await ctx.write(data, v + 1, TimeCat::Sync);
+        co_await ctx.unlock(s.a);
+    }
+    co_return;
+}
+
+TEST(Coherence, SpinLockGivesMutualExclusion)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 2);
+    const Addr data = m.mem().alloc(2, mem::HomePolicy::Fixed, 6);
+    const int reps = 10;
+    m.run([&](Ctx &ctx) { return lockProgram(ctx, s, data, reps); });
+    EXPECT_EQ(m.debugWord(data),
+              static_cast<std::uint64_t>(m.nodes()) * reps);
+    EXPECT_EQ(m.counters().lockAcquires,
+              static_cast<std::uint64_t>(m.nodes()) * reps);
+}
+
+sim::Thread
+prefetchProgram(Ctx &ctx, Shared &s, bool exclusive)
+{
+    if (ctx.self() != 0)
+        co_return;
+    if (exclusive)
+        ctx.prefetchWrite(s.a);
+    else
+        ctx.prefetchRead(s.a);
+    co_await ctx.compute(500); // give the prefetch time to land
+    s.out[0] = Ctx::asDouble(co_await ctx.read(s.a));
+    co_return;
+}
+
+TEST(Coherence, ReadPrefetchIsUseful)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 3.5);
+    m.run([&](Ctx &ctx) { return prefetchProgram(ctx, s, false); });
+    EXPECT_DOUBLE_EQ(s.out[0], 3.5);
+    EXPECT_EQ(m.counters().prefetchesIssued, 1u);
+    EXPECT_EQ(m.counters().prefetchesUseful, 1u);
+    EXPECT_EQ(m.counters().remoteMisses, 1u); // the prefetch itself
+}
+
+TEST(Coherence, WritePrefetchGrantsOwnership)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 1.25);
+    m.run([&](Ctx &ctx) { return prefetchProgram(ctx, s, true); });
+    EXPECT_DOUBLE_EQ(s.out[0], 1.25);
+    EXPECT_EQ(m.counters().prefetchesUseful, 1u);
+}
+
+sim::Thread
+nonBindingProgram(Ctx &ctx, Shared &s)
+{
+    if (ctx.self() == 0) {
+        ctx.prefetchRead(s.a);
+        co_await ctx.barrier(); // prefetch landed
+        co_await ctx.barrier(); // writer done
+        s.out[0] = Ctx::asDouble(co_await ctx.read(s.a));
+    } else if (ctx.self() == 1) {
+        co_await ctx.compute(1000);
+        co_await ctx.barrier();
+        co_await ctx.writeD(s.a, 8.5); // must invalidate the buffer
+        co_await ctx.barrier();
+    } else {
+        co_await ctx.barrier();
+        co_await ctx.barrier();
+    }
+    co_return;
+}
+
+TEST(Coherence, PrefetchIsNonBinding)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 1.0);
+    m.run([&](Ctx &ctx) { return nonBindingProgram(ctx, s); });
+    // The stale prefetched 1.0 must NOT be returned.
+    EXPECT_DOUBLE_EQ(s.out[0], 8.5);
+}
+
+sim::Thread
+spinWakeProgram(Ctx &ctx, Shared &s)
+{
+    if (ctx.self() == 0) {
+        const std::uint64_t v = co_await ctx.spinUntil(
+            s.a, [](std::uint64_t w) { return w != 0; });
+        s.out[0] = static_cast<double>(v);
+        s.cycles[0] = ctx.proc().localNow();
+    } else if (ctx.self() == 1) {
+        co_await ctx.compute(5000);
+        co_await ctx.write(s.a, 77);
+    }
+    co_return;
+}
+
+TEST(Coherence, SpinUntilWakesOnInvalidation)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.cycles.assign(m.nodes(), 0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 2);
+    m.run([&](Ctx &ctx) { return spinWakeProgram(ctx, s); });
+    EXPECT_DOUBLE_EQ(s.out[0], 77.0);
+    // Wake must happen shortly after the 5000-cycle write, not before.
+    EXPECT_GT(ticksToCycles(s.cycles[0]), 5000.0);
+    EXPECT_LT(ticksToCycles(s.cycles[0]), 5400.0);
+}
+
+sim::Thread
+upgradePrefetchProgram(Ctx &ctx, Shared &s)
+{
+    // Regression: node 0 holds the line Shared, then exclusive-
+    // prefetches it (upgrade). A later writer's recall must not leave a
+    // stale readable copy at node 0.
+    if (ctx.self() == 0) {
+        s.out[0] = Ctx::asDouble(co_await ctx.read(s.a)); // Shared copy
+        ctx.prefetchWrite(s.a); // upgrade into the prefetch machinery
+        co_await ctx.barrier();
+        co_await ctx.barrier(); // node 1 wrote
+        s.out[2] = Ctx::asDouble(co_await ctx.read(s.a));
+    } else if (ctx.self() == 1) {
+        co_await ctx.barrier();
+        co_await ctx.writeD(s.a, 64.0);
+        co_await ctx.barrier();
+    } else {
+        co_await ctx.barrier();
+        co_await ctx.barrier();
+    }
+    co_return;
+}
+
+TEST(Coherence, ExclusivePrefetchOfSharedLineStaysCoherent)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.out.assign(m.nodes(), 0.0);
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.mem().storeDouble(s.a, 8.0);
+    m.run([&](Ctx &ctx) { return upgradePrefetchProgram(ctx, s); });
+    EXPECT_DOUBLE_EQ(s.out[0], 8.0);
+    EXPECT_DOUBLE_EQ(s.out[2], 64.0); // must see node 1's write
+}
+
+sim::Thread
+falseSharingProgram(Ctx &ctx, Shared &s, int reps)
+{
+    // Nodes 0 and 1 write the two different words of the SAME line.
+    if (ctx.self() > 1)
+        co_return;
+    const Addr mine = s.a + 8 * ctx.self();
+    for (int i = 0; i < reps; ++i) {
+        const std::uint64_t v = co_await ctx.read(mine);
+        co_await ctx.write(mine, v + 1);
+    }
+    co_return;
+}
+
+TEST(Coherence, FalseSharingStaysCorrect)
+{
+    Machine m = makeMachine();
+    Shared s;
+    s.a = m.mem().alloc(2, mem::HomePolicy::Fixed, 3);
+    const int reps = 25;
+    m.run([&](Ctx &ctx) {
+        return falseSharingProgram(ctx, s, reps);
+    });
+    EXPECT_EQ(m.debugWord(s.a), static_cast<std::uint64_t>(reps));
+    EXPECT_EQ(m.debugWord(s.a + 8), static_cast<std::uint64_t>(reps));
+}
+
+} // namespace
+} // namespace alewife

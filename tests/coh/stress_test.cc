@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Randomized coherence stress tests (property-based, TEST_P over
+ * seeds): every node performs a random mix of reads, writes, rmws and
+ * prefetches against a small shared region. Invariants checked:
+ *
+ *  - per-word rmw counters: the sum of increments equals the number of
+ *    rmw operations issued machine-wide (atomicity);
+ *  - single-writer words: the final value is the last value written by
+ *    the unique writer (no lost or reordered writes per location);
+ *  - reads always return a value some node actually wrote (no
+ *    out-of-thin-air data) — enforced by writing tagged values;
+ *  - the simulation drains (no protocol deadlock) under heavy conflict.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.hh"
+#include "sim/rng.hh"
+
+namespace alewife {
+namespace {
+
+using proc::Ctx;
+using test::smallConfig;
+
+struct StressState
+{
+    Addr counters = 0; ///< one word per line, rmw-incremented
+    Addr owned = 0;    ///< word i written only by node i
+    int countersWords = 8;
+    std::vector<std::uint64_t> rmwsIssued;
+    std::vector<std::uint64_t> lastOwnValue;
+    std::vector<std::uint64_t> seed;
+    int opsPerNode = 120;
+};
+
+sim::Thread
+stressProgram(Ctx &ctx, StressState &st)
+{
+    const int self = ctx.self();
+    Rng rng(st.seed[self]);
+    const std::uint32_t line =
+        ctx.config().lineBytes; // one counter word per line
+
+    for (int op = 0; op < st.opsPerNode; ++op) {
+        const int kind = static_cast<int>(rng.nextBounded(100));
+        const int slot =
+            static_cast<int>(rng.nextBounded(st.countersWords));
+        const Addr caddr = st.counters + static_cast<Addr>(slot) * line;
+
+        if (kind < 35) {
+            // Shared counter increment (atomicity probe).
+            co_await ctx.rmw(caddr,
+                             [](std::uint64_t v) { return v + 1; });
+            ++st.rmwsIssued[self];
+        } else if (kind < 55) {
+            // Read some counter; value must never exceed the total
+            // possible increments (checked loosely at the end).
+            co_await ctx.read(caddr);
+        } else if (kind < 75) {
+            // Write our own word with a tagged, increasing value.
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(self) << 32)
+                | static_cast<std::uint64_t>(op);
+            co_await ctx.write(st.owned
+                                   + static_cast<Addr>(self) * line,
+                               v);
+            st.lastOwnValue[self] = v;
+        } else if (kind < 85) {
+            // Read a random node's word (may race; just must not wedge
+            // the protocol or return an untagged value).
+            const int other =
+                static_cast<int>(rng.nextBounded(ctx.nprocs()));
+            const std::uint64_t v = co_await ctx.read(
+                st.owned + static_cast<Addr>(other) * line);
+            if (v != 0) {
+                // Tag check: top half names the only legal writer.
+                EXPECT_EQ(v >> 32, static_cast<std::uint64_t>(other));
+            }
+        } else if (kind < 95) {
+            ctx.prefetchRead(caddr);
+            co_await ctx.compute(10);
+        } else {
+            ctx.prefetchWrite(st.owned
+                              + static_cast<Addr>(self) * line);
+            co_await ctx.compute(10);
+        }
+        co_await ctx.compute(rng.nextBounded(30));
+    }
+    co_await ctx.barrier();
+}
+
+class CoherenceStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CoherenceStress, InvariantsHoldUnderRandomTraffic)
+{
+    MachineConfig cfg = smallConfig();
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+
+    StressState st;
+    st.countersWords = 8;
+    st.counters = m.mem().alloc(
+        static_cast<std::uint64_t>(st.countersWords)
+            * m.mem().wordsPerLine(),
+        mem::HomePolicy::Interleaved, 0, "stress-counters");
+    st.owned = m.mem().alloc(
+        static_cast<std::uint64_t>(m.nodes()) * m.mem().wordsPerLine(),
+        mem::HomePolicy::Blocked, 0, "stress-owned");
+    st.rmwsIssued.assign(m.nodes(), 0);
+    st.lastOwnValue.assign(m.nodes(), 0);
+    st.seed.resize(m.nodes());
+    Rng seeder(GetParam());
+    for (auto &s : st.seed)
+        s = seeder.next();
+
+    m.run([&](Ctx &ctx) { return stressProgram(ctx, st); });
+
+    // Atomicity: counters sum to the number of rmws issued.
+    std::uint64_t total_rmws = 0;
+    for (auto v : st.rmwsIssued)
+        total_rmws += v;
+    std::uint64_t counter_sum = 0;
+    for (int s = 0; s < st.countersWords; ++s) {
+        counter_sum += m.debugWord(st.counters
+                                   + static_cast<Addr>(s)
+                                         * cfg.lineBytes);
+    }
+    EXPECT_EQ(counter_sum, total_rmws);
+
+    // Per-word last-writer-wins for single-writer locations.
+    for (int n = 0; n < m.nodes(); ++n) {
+        EXPECT_EQ(m.debugWord(st.owned
+                              + static_cast<Addr>(n) * cfg.lineBytes),
+                  st.lastOwnValue[n])
+            << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceStress,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+/** Same stress on the full 32-node machine with a tiny cache, forcing
+ *  constant evictions and writebacks through the protocol. */
+TEST(CoherenceStressBig, TinyCacheEvictionStorm)
+{
+    MachineConfig cfg;
+    cfg.cacheBytes = 256; // 16 lines: evictions everywhere
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+
+    StressState st;
+    st.countersWords = 32;
+    st.opsPerNode = 60;
+    st.counters = m.mem().alloc(
+        static_cast<std::uint64_t>(st.countersWords)
+            * m.mem().wordsPerLine(),
+        mem::HomePolicy::Interleaved, 0, "storm-counters");
+    st.owned = m.mem().alloc(
+        static_cast<std::uint64_t>(m.nodes()) * m.mem().wordsPerLine(),
+        mem::HomePolicy::Blocked, 0, "storm-owned");
+    st.rmwsIssued.assign(m.nodes(), 0);
+    st.lastOwnValue.assign(m.nodes(), 0);
+    st.seed.resize(m.nodes());
+    Rng seeder(0xabcdef);
+    for (auto &s : st.seed)
+        s = seeder.next();
+
+    m.run([&](Ctx &ctx) { return stressProgram(ctx, st); });
+
+    std::uint64_t total_rmws = 0;
+    for (auto v : st.rmwsIssued)
+        total_rmws += v;
+    std::uint64_t counter_sum = 0;
+    for (int s = 0; s < st.countersWords; ++s) {
+        counter_sum += m.debugWord(st.counters
+                                   + static_cast<Addr>(s)
+                                         * cfg.lineBytes);
+    }
+    EXPECT_EQ(counter_sum, total_rmws);
+    for (int n = 0; n < m.nodes(); ++n) {
+        EXPECT_EQ(m.debugWord(st.owned
+                              + static_cast<Addr>(n) * cfg.lineBytes),
+                  st.lastOwnValue[n]);
+    }
+}
+
+} // namespace
+} // namespace alewife

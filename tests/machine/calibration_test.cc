@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Calibration against the paper's published Alewife costs (Figure 3
+ * table, Section 3.2): local miss 11 cycles, remote clean read ~38-42
+ * cycles + 1.6/hop, remote dirty ~63, 2-party write ~66, LimitLESS
+ * software handling ~425+, null active message 102 cycles + 0.8/hop,
+ * 1-way 24-byte packet ~15 cycles, bisection 18 bytes/cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+
+namespace alewife {
+namespace {
+
+using proc::Ctx;
+
+struct Probe
+{
+    Addr a = 0;
+    double cycles = 0.0;
+};
+
+/** Measure the stall of one access on node 0. */
+template <typename Fn>
+double
+measure(Machine &m, Addr addr, Fn &&access, int warm_writer = -1)
+{
+    struct State
+    {
+        Addr a;
+        double out = 0.0;
+        int warm;
+    } st{addr, 0.0, warm_writer};
+
+    auto prog = [&st, &access](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == st.warm) {
+            co_await ctx.writeD(st.a, 42.0); // dirty the line remotely
+        } else if (ctx.self() == 0) {
+            co_await ctx.compute(4000); // let any warmer finish
+            const Tick before = ctx.proc().localNow();
+            co_await access(ctx, st.a);
+            st.out = ticksToCycles(ctx.proc().localNow() - before);
+        }
+        co_return;
+    };
+    m.run(prog);
+    return st.out;
+}
+
+TEST(Calibration, LocalCleanMissIsAboutElevenCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 0);
+    const double c = measure(
+        m, a, [](Ctx &ctx, Addr x) { return ctx.read(x); });
+    EXPECT_GE(c, 10.0);
+    EXPECT_LE(c, 13.0);
+}
+
+TEST(Calibration, RemoteCleanReadMissNearFortyCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    // Home at node 1: one hop from node 0.
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 1);
+    const double c = measure(
+        m, a, [](Ctx &ctx, Addr x) { return ctx.read(x); });
+    EXPECT_GE(c, 33.0);
+    EXPECT_LE(c, 52.0);
+}
+
+TEST(Calibration, RemoteDirtyReadMissNearSixtyCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 1);
+    const double c = measure(
+        m, a, [](Ctx &ctx, Addr x) { return ctx.read(x); },
+        /*warm_writer=*/2);
+    EXPECT_GE(c, 52.0);
+    EXPECT_LE(c, 80.0);
+}
+
+TEST(Calibration, TwoPartyWriteMissNearSixtySixCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 1);
+
+    struct State
+    {
+        Addr a;
+        double out = 0.0;
+    } st{a, 0.0};
+
+    auto prog = [&st](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 2) {
+            co_await ctx.read(st.a); // become a sharer
+        } else if (ctx.self() == 0) {
+            co_await ctx.compute(4000);
+            const Tick before = ctx.proc().localNow();
+            co_await ctx.writeD(st.a, 1.0); // invalidate node 2
+            st.out = ticksToCycles(ctx.proc().localNow() - before);
+        }
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_GE(st.out, 50.0);
+    EXPECT_LE(st.out, 90.0);
+}
+
+TEST(Calibration, LimitlessReadCostsHundredsOfCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 1);
+
+    struct State
+    {
+        Addr a;
+        double out = 0.0;
+    } st{a, 0.0};
+
+    // Nodes 2..12 become sharers (beyond the 5 hardware pointers);
+    // node 0 reads last and eats the software-handling latency.
+    auto prog = [&st](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() >= 2 && ctx.self() <= 12) {
+            co_await ctx.compute(100 * ctx.self());
+            co_await ctx.read(st.a);
+        } else if (ctx.self() == 0) {
+            co_await ctx.compute(8000);
+            const Tick before = ctx.proc().localNow();
+            co_await ctx.read(st.a);
+            st.out = ticksToCycles(ctx.proc().localNow() - before);
+        }
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_GE(st.out, 250.0);
+    EXPECT_LE(st.out, 800.0);
+    EXPECT_GT(m.counters().limitlessTraps, 0u);
+}
+
+TEST(Calibration, NullActiveMessageNearHundredCycles)
+{
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::MessagePassing,
+              msg::RecvMode::Interrupt);
+
+    struct State
+    {
+        msg::HandlerId h = -1;
+        bool got = false;
+        Tick sentAt = 0;
+        Tick gotAt = 0;
+    } st;
+    st.h = m.handlers().add([&st, &m](msg::HandlerEnv &) {
+        st.got = true;
+        st.gotAt = m.eq().now();
+    });
+
+    auto prog = [&st](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0) {
+            const Tick before = ctx.proc().localNow();
+            st.sentAt = before;
+            co_await ctx.send(1, st.h, {});
+        }
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_TRUE(st.got);
+    // End-to-end: send overhead + 1 hop transit + interrupt + dispatch.
+    // The handler fires at arrival; add its charge (interrupt+dispatch)
+    // conceptually — compare against the 102 + 0.8/hop budget loosely.
+    const double transit = ticksToCycles(st.gotAt - st.sentAt);
+    const double interrupt_side =
+        MachineConfig{}.amInterruptCycles + MachineConfig{}.amDispatchCycles;
+    const double total = transit + interrupt_side;
+    EXPECT_GE(total, 85.0);
+    EXPECT_LE(total, 120.0);
+}
+
+TEST(Calibration, OneWayPacketLatencyNearFifteenCycles)
+{
+    MachineConfig cfg;
+    const double lat = cfg.onewayLatencyCycles(
+        24, static_cast<int>(cfg.averageHops() + 0.5));
+    EXPECT_GE(lat, 12.0);
+    EXPECT_LE(lat, 20.0);
+}
+
+TEST(Calibration, BisectionIsEighteenBytesPerCycle)
+{
+    MachineConfig cfg;
+    EXPECT_NEAR(cfg.bisectionBytesPerCycle(), 18.0, 0.01);
+    EXPECT_NEAR(cfg.bisectionMBps(), 360.0, 0.5);
+}
+
+TEST(Calibration, ClockScalingChangesRelativeNetworkSpeed)
+{
+    MachineConfig slow;
+    slow.procMhz = 14.0;
+    MachineConfig fast;
+    fast.procMhz = 20.0;
+    // In processor cycles, the asynchronous network looks faster on the
+    // slower-clocked machine.
+    EXPECT_LT(slow.onewayLatencyCycles(24, 5),
+              fast.onewayLatencyCycles(24, 5));
+    EXPECT_GT(slow.linkBytesPerCycle(), fast.linkBytesPerCycle());
+}
+
+} // namespace
+} // namespace alewife

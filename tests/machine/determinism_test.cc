@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Determinism tests: two identical runs of the full machine must agree
+ * bit-for-bit in timing, statistics and results. Everything in the
+ * kernel (event ordering, tie-breaking, RNG seeding) exists to make
+ * this true; any divergence means irreproducible experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/em3d.hh"
+#include "apps/moldyn.hh"
+#include "core/runner.hh"
+
+namespace alewife {
+namespace {
+
+using core::Mechanism;
+
+core::RunResult
+runOnce(Mechanism mech, double cross)
+{
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    apps::Em3d app(p);
+    core::RunSpec spec;
+    spec.mechanism = mech;
+    spec.crossTraffic.bytesPerCycle = cross;
+    return core::runApp(app, spec);
+}
+
+class Determinism : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(Determinism, IdenticalRunsAgreeExactly)
+{
+    const auto a = runOnce(GetParam(), 0.0);
+    const auto b = runOnce(GetParam(), 0.0);
+    EXPECT_EQ(a.runtimeCycles, b.runtimeCycles);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.volume.total(), b.volume.total());
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.counters.packetsInjected, b.counters.packetsInjected);
+    EXPECT_EQ(a.counters.cacheHits, b.counters.cacheHits);
+}
+
+TEST_P(Determinism, CrossTrafficRunsAgreeExactly)
+{
+    const auto a = runOnce(GetParam(), 10.0);
+    const auto b = runOnce(GetParam(), 10.0);
+    EXPECT_EQ(a.runtimeCycles, b.runtimeCycles);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, Determinism,
+    ::testing::Values(Mechanism::SharedMemory,
+                      Mechanism::SharedMemoryPrefetch,
+                      Mechanism::MpInterrupt, Mechanism::MpPolling,
+                      Mechanism::BulkTransfer),
+    [](const auto &info) {
+        switch (info.param) {
+          case Mechanism::SharedMemory: return std::string("SM");
+          case Mechanism::SharedMemoryPrefetch: return std::string("SMPF");
+          case Mechanism::MpInterrupt: return std::string("MPI");
+          case Mechanism::MpPolling: return std::string("MPP");
+          case Mechanism::BulkTransfer: return std::string("BULK");
+          default: return std::string("X");
+        }
+    });
+
+TEST(Determinism, MoldynAgreesAcrossRuns)
+{
+    auto run = []() {
+        apps::Moldyn::Params p;
+        p.box.molecules = 400;
+        p.iters = 1;
+        apps::Moldyn app(p);
+        core::RunSpec spec;
+        spec.mechanism = Mechanism::BulkTransfer;
+        return core::runApp(app, spec);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.runtimeCycles, b.runtimeCycles);
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+} // namespace
+} // namespace alewife

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the global address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+namespace alewife::mem {
+namespace {
+
+TEST(AddressSpace, AllocationsAreLineAlignedAndDisjoint)
+{
+    AddressSpace as(4, 16);
+    const Addr a = as.alloc(3, HomePolicy::Fixed, 0);
+    const Addr b = as.alloc(5, HomePolicy::Fixed, 1);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    // 3 words round to 4 (one line is 2 words -> 4 words = 2 lines).
+    EXPECT_GE(b, a + 4 * 8);
+}
+
+TEST(AddressSpace, FixedHomePolicy)
+{
+    AddressSpace as(4, 16);
+    const Addr a = as.alloc(8, HomePolicy::Fixed, 2);
+    for (int w = 0; w < 8; ++w)
+        EXPECT_EQ(as.home(a + 8 * w), 2);
+}
+
+TEST(AddressSpace, InterleavedHomePolicy)
+{
+    AddressSpace as(4, 16);
+    const Addr a = as.alloc(16, HomePolicy::Interleaved); // 8 lines
+    EXPECT_EQ(as.home(a), 0);
+    EXPECT_EQ(as.home(a + 16), 1);
+    EXPECT_EQ(as.home(a + 32), 2);
+    EXPECT_EQ(as.home(a + 48), 3);
+    EXPECT_EQ(as.home(a + 64), 0);
+}
+
+TEST(AddressSpace, BlockedHomePolicy)
+{
+    AddressSpace as(4, 16);
+    const Addr a = as.alloc(16, HomePolicy::Blocked); // 8 lines, 2/node
+    EXPECT_EQ(as.home(a), 0);
+    EXPECT_EQ(as.home(a + 31), 0);
+    EXPECT_EQ(as.home(a + 32), 1);
+    EXPECT_EQ(as.home(a + 64), 2);
+    EXPECT_EQ(as.home(a + 96), 3);
+}
+
+TEST(AddressSpace, LoadStoreRoundTrip)
+{
+    AddressSpace as(2, 16);
+    const Addr a = as.alloc(4, HomePolicy::Fixed, 0);
+    as.storeWord(a + 8, 0xdeadbeefULL);
+    EXPECT_EQ(as.loadWord(a + 8), 0xdeadbeefULL);
+    EXPECT_EQ(as.loadWord(a), 0u);
+}
+
+TEST(AddressSpace, DoubleRoundTrip)
+{
+    AddressSpace as(2, 16);
+    const Addr a = as.alloc(2, HomePolicy::Fixed, 0);
+    as.storeDouble(a, 3.14159);
+    EXPECT_DOUBLE_EQ(as.loadDouble(a), 3.14159);
+}
+
+TEST(AddressSpace, MultipleRegionsIndependent)
+{
+    AddressSpace as(2, 16);
+    const Addr a = as.alloc(2, HomePolicy::Fixed, 0);
+    const Addr b = as.alloc(2, HomePolicy::Fixed, 1);
+    as.storeWord(a, 1);
+    as.storeWord(b, 2);
+    EXPECT_EQ(as.loadWord(a), 1u);
+    EXPECT_EQ(as.loadWord(b), 2u);
+}
+
+TEST(AddressSpace, LineBase)
+{
+    AddressSpace as(2, 16);
+    const Addr a = as.alloc(4, HomePolicy::Fixed, 0);
+    EXPECT_EQ(as.lineBase(a + 15), a);
+    EXPECT_EQ(as.lineBase(a + 16), a + 16);
+}
+
+TEST(AddressSpaceDeath, UnmappedAddressPanics)
+{
+    AddressSpace as(2, 16);
+    as.alloc(2, HomePolicy::Fixed, 0);
+    EXPECT_DEATH(as.loadWord(1 << 20), "not in any");
+}
+
+TEST(AddressSpaceDeath, UnalignedAccessPanics)
+{
+    AddressSpace as(2, 16);
+    const Addr a = as.alloc(2, HomePolicy::Fixed, 0);
+    EXPECT_DEATH(as.loadWord(a + 4), "unaligned");
+}
+
+} // namespace
+} // namespace alewife::mem

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the direct-mapped cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace alewife::mem {
+namespace {
+
+std::vector<std::uint64_t>
+words(std::uint64_t a, std::uint64_t b)
+{
+    return {a, b};
+}
+
+TEST(Cache, FillThenReadBack)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Shared, words(11, 22));
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x108));
+    EXPECT_EQ(c.readWord(0x100), 11u);
+    EXPECT_EQ(c.readWord(0x108), 22u);
+}
+
+TEST(Cache, AbsentLineReportsNoState)
+{
+    Cache c(1024, 16);
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_FALSE(c.state(0x100).has_value());
+}
+
+TEST(Cache, WriteRequiresModified)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Modified, words(1, 2));
+    c.writeWord(0x108, 99);
+    EXPECT_EQ(c.readWord(0x108), 99u);
+}
+
+TEST(CacheDeath, WriteToSharedPanics)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Shared, words(1, 2));
+    EXPECT_DEATH(c.writeWord(0x100, 5), "non-Modified");
+}
+
+TEST(Cache, ConflictEvictsDirtyVictim)
+{
+    Cache c(64, 16); // 4 sets
+    c.fill(0x000, LineState::Modified, words(7, 8));
+    // Same set: addresses 64 bytes apart.
+    auto victim = c.fill(0x040, LineState::Shared, words(1, 2));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->lineAddr, 0x000u);
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(victim->words[0], 7u);
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x040));
+}
+
+TEST(Cache, CleanVictimVanishesSilently)
+{
+    Cache c(64, 16);
+    c.fill(0x000, LineState::Shared, words(7, 8));
+    auto victim = c.fill(0x040, LineState::Shared, words(1, 2));
+    EXPECT_FALSE(victim.has_value());
+}
+
+TEST(Cache, InvalidateReturnsDirtyWords)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Modified, words(5, 6));
+    auto w = c.invalidate(0x108);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ((*w)[1], 6u);
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, InvalidateCleanReturnsNothing)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Shared, words(5, 6));
+    EXPECT_FALSE(c.invalidate(0x100).has_value());
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, InvalidateAbsentIsNoop)
+{
+    Cache c(1024, 16);
+    EXPECT_FALSE(c.invalidate(0x100).has_value());
+}
+
+TEST(Cache, DowngradeKeepsLineShared)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Modified, words(5, 6));
+    auto w = c.downgrade(0x100);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(c.state(0x100), LineState::Shared);
+    EXPECT_EQ(c.readWord(0x100), 5u);
+}
+
+TEST(Cache, UpgradeMakesModified)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Shared, words(5, 6));
+    c.upgrade(0x100);
+    EXPECT_EQ(c.state(0x100), LineState::Modified);
+    c.writeWord(0x100, 9);
+    EXPECT_EQ(c.readWord(0x100), 9u);
+}
+
+TEST(Cache, RefillSameLineOverwrites)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Modified, words(5, 6));
+    auto victim = c.fill(0x100, LineState::Shared, words(9, 10));
+    // Same line refill never reports itself as victim.
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(c.readWord(0x100), 9u);
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    Cache c(1024, 16);
+    c.fill(0x100, LineState::Shared, words(1, 2));
+    c.fill(0x200, LineState::Modified, words(3, 4));
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_FALSE(c.contains(0x200));
+}
+
+} // namespace
+} // namespace alewife::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for PartitionedArray home alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/partitioned.hh"
+
+namespace alewife::mem {
+namespace {
+
+TEST(PartitionedArray, ElementsHomeAtTheirPartitionOwner)
+{
+    AddressSpace as(4, 16);
+    std::vector<std::int32_t> counts = {3, 5, 2, 4}; // ragged
+    auto arr = PartitionedArray::create(as, counts, "t");
+    for (int p = 0; p < 4; ++p) {
+        for (std::int32_t i = 0; i < counts[p]; ++i)
+            EXPECT_EQ(as.home(arr.addr(p, i)), p)
+                << "p=" << p << " i=" << i;
+    }
+}
+
+TEST(PartitionedArray, AddressesAreDistinct)
+{
+    AddressSpace as(4, 16);
+    std::vector<std::int32_t> counts = {4, 4, 4, 4};
+    auto arr = PartitionedArray::create(as, counts, "t");
+    std::set<Addr> seen;
+    for (int p = 0; p < 4; ++p)
+        for (std::int32_t i = 0; i < 4; ++i)
+            EXPECT_TRUE(seen.insert(arr.addr(p, i)).second);
+}
+
+TEST(PartitionedArray, BackingStoreAccessible)
+{
+    AddressSpace as(2, 16);
+    std::vector<std::int32_t> counts = {2, 3};
+    auto arr = PartitionedArray::create(as, counts, "t");
+    as.storeDouble(arr.addr(1, 2), 2.5);
+    EXPECT_DOUBLE_EQ(as.loadDouble(arr.addr(1, 2)), 2.5);
+}
+
+TEST(PartitionedArrayDeath, OutOfRangePanics)
+{
+    AddressSpace as(2, 16);
+    std::vector<std::int32_t> counts = {2, 3};
+    auto arr = PartitionedArray::create(as, counts, "t");
+    EXPECT_DEATH(arr.addr(0, 2), "out of range");
+}
+
+} // namespace
+} // namespace alewife::mem

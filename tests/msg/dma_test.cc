@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tests for the DMA cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "msg/dma.hh"
+
+namespace alewife::msg {
+namespace {
+
+TEST(DmaCostModel, GatherScalesWithLines)
+{
+    MachineConfig cfg; // 60 cycles per 16-byte line
+    DmaCostModel dma(cfg);
+    EXPECT_DOUBLE_EQ(dma.gatherCycles(2), 60.0);  // one line
+    EXPECT_DOUBLE_EQ(dma.gatherCycles(4), 120.0); // two lines
+    EXPECT_DOUBLE_EQ(dma.gatherCycles(1), 30.0);  // half line
+    EXPECT_DOUBLE_EQ(dma.scatterCycles(2), dma.gatherCycles(2));
+}
+
+TEST(DmaCostModel, SetupComesFromConfig)
+{
+    MachineConfig cfg;
+    cfg.dmaSetupCycles = 35.0;
+    DmaCostModel dma(cfg);
+    EXPECT_DOUBLE_EQ(dma.setupCycles(), 35.0);
+}
+
+TEST(DmaCostModel, PaddingRoundsToAlignment)
+{
+    MachineConfig cfg; // 8-byte alignment
+    DmaCostModel dma(cfg);
+    EXPECT_EQ(dma.paddedBytes(1), 8u);
+    EXPECT_EQ(dma.paddedBytes(3), 24u);
+
+    cfg.dmaAlignBytes = 16;
+    DmaCostModel dma16(cfg);
+    EXPECT_EQ(dma16.paddedBytes(1), 16u);
+    EXPECT_EQ(dma16.paddedBytes(2), 16u);
+    EXPECT_EQ(dma16.paddedBytes(3), 32u);
+}
+
+} // namespace
+} // namespace alewife::msg

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the Ctx programming API: fast paths, copy charging, poll
+ * points, and the relaxed-consistency write window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+
+namespace alewife {
+namespace {
+
+using proc::Ctx;
+using test::smallConfig;
+
+TEST(Context, ChargeCopyUsesGatherScatterRate)
+{
+    MachineConfig cfg = smallConfig();
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0)
+            co_await ctx.chargeCopy(8); // 4 lines at 60 cycles
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_NEAR(ticksToCycles(
+                    m.procAt(0).breakdown().get(TimeCat::MsgOverhead)),
+                240.0, 0.01);
+}
+
+TEST(Context, FlopsCostScalesWithConfig)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.cyclesPerFlop = 7.0;
+    cfg.cyclesPerFlopSP = 2.0;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0) {
+            co_await ctx.computeFlops(10);   // 70 cycles
+            co_await ctx.computeFlopsSP(10); // 20 cycles
+        }
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_NEAR(ticksToCycles(
+                    m.procAt(0).breakdown().get(TimeCat::Compute)),
+                90.0, 0.01);
+}
+
+TEST(Context, RepeatedHitsStayOnFastPath)
+{
+    MachineConfig cfg = smallConfig();
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 0);
+    auto prog = [a](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() != 0)
+            co_return;
+        co_await ctx.read(a); // one local miss
+        for (int i = 0; i < 200; ++i)
+            co_await ctx.read(a); // then hits
+    };
+    m.run(prog);
+    EXPECT_EQ(m.counters().cacheMisses, 1u);
+    EXPECT_EQ(m.counters().cacheHits, 200u);
+}
+
+TEST(Context, PollPointIsNoopUnderInterrupts)
+{
+    Machine m(smallConfig(), proc::SyncStyle::MessagePassing,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.pollPoint();
+        co_return;
+    };
+    m.run(prog);
+    // No poll cost charged in interrupt mode.
+    EXPECT_EQ(m.procAt(0).breakdown().get(TimeCat::MsgOverhead), 0u);
+}
+
+TEST(Context, PollPointDrainsUnderPolling)
+{
+    Machine m(smallConfig(), proc::SyncStyle::MessagePassing,
+              msg::RecvMode::Polling);
+    struct St
+    {
+        msg::HandlerId h = -1;
+        int got = 0;
+    } st;
+    st.h = m.handlers().add([&st](msg::HandlerEnv &) { ++st.got; });
+    auto prog = [&st](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0) {
+            co_await ctx.send(1, st.h, {});
+        } else if (ctx.self() == 1) {
+            co_await ctx.compute(5000);
+            co_await ctx.pollPoint();
+        }
+        co_return;
+    };
+    m.run(prog);
+    EXPECT_EQ(st.got, 1);
+    EXPECT_GT(m.procAt(1).breakdown().get(TimeCat::MsgOverhead), 0u);
+}
+
+TEST(Context, NonBlockingWritesRetireThroughFence)
+{
+    Machine m(smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a =
+        m.mem().alloc(16, mem::HomePolicy::Interleaved, 0, "nb");
+    auto prog = [a](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() != 0)
+            co_return;
+        for (int i = 0; i < 8; ++i)
+            co_await ctx.writeNB(a + 16 * i, 100 + i);
+        co_await ctx.fence();
+    };
+    m.run(prog);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(m.debugWord(a + 16 * i), 100u + i);
+}
+
+TEST(Context, NonBlockingWritesOverlapLatency)
+{
+    // Same store stream, sequentially consistent vs relaxed: the
+    // relaxed version must be substantially faster at high latency.
+    auto run = [](bool relaxed) {
+        MachineConfig cfg = smallConfig();
+        cfg.idealNet = true;
+        cfg.idealNetLatencyCycles = 100.0;
+        Machine m(cfg, proc::SyncStyle::SharedMemory,
+                  msg::RecvMode::Interrupt);
+        const Addr a = m.mem().alloc(32, mem::HomePolicy::Interleaved,
+                                     0, "nb2");
+        struct Out
+        {
+            double cycles = 0.0;
+        };
+        static Out out;
+        out = Out{};
+        auto prog = [a, relaxed](Ctx &ctx) -> sim::Thread {
+            if (ctx.self() != 0)
+                co_return;
+            const Tick t0 = ctx.proc().localNow();
+            for (int i = 0; i < 16; ++i) {
+                if (relaxed)
+                    co_await ctx.writeNB(a + 16 * i, i);
+                else
+                    co_await ctx.write(a + 16 * i, i);
+            }
+            if (relaxed)
+                co_await ctx.fence();
+            out.cycles = ticksToCycles(ctx.proc().localNow() - t0);
+        };
+        m.run(prog);
+        return out.cycles;
+    };
+    const double sc = run(false);
+    const double nb = run(true);
+    EXPECT_LT(nb, sc / 2.0);
+}
+
+TEST(Context, WindowLimitsOutstandingWrites)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.maxOutstandingWrites = 1; // effectively sequential
+    cfg.idealNet = true;
+    cfg.idealNetLatencyCycles = 100.0;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a =
+        m.mem().alloc(16, mem::HomePolicy::Interleaved, 0, "nb3");
+    auto prog = [a](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() != 0)
+            co_return;
+        for (int i = 0; i < 8; ++i)
+            co_await ctx.writeNB(a + 16 * i, i);
+        co_await ctx.fence();
+    };
+    const Tick finish = m.run(prog);
+    // With window 1, each store still pays most of the round trip:
+    // ~8 stores x ~200-cycle misses.
+    EXPECT_GT(ticksToCycles(finish), 1200.0);
+}
+
+} // namespace
+} // namespace alewife

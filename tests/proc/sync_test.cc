@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Barrier and processor-accounting tests for both synchronization
+ * styles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.hh"
+
+namespace alewife {
+namespace {
+
+using proc::Ctx;
+using test::smallConfig;
+
+/** Nodes record a global sequence number at each barrier episode. */
+sim::Thread
+barrierProgram(Ctx &ctx, std::vector<std::vector<int>> &phases,
+               int &stamp, int rounds)
+{
+    for (int r = 0; r < rounds; ++r) {
+        // Skewed work before the barrier.
+        co_await ctx.compute(100.0 * (ctx.self() + 1));
+        phases[ctx.self()].push_back(stamp);
+        co_await ctx.barrier();
+        if (ctx.self() == 0)
+            ++stamp; // only safe if the barrier really separates rounds
+    }
+    co_return;
+}
+
+void
+checkBarrier(proc::SyncStyle style, msg::RecvMode mode)
+{
+    Machine m(smallConfig(), style, mode);
+    std::vector<std::vector<int>> phases(m.nodes());
+    int stamp = 0;
+    const int rounds = 5;
+    m.run([&](Ctx &ctx) {
+        return barrierProgram(ctx, phases, stamp, rounds);
+    });
+    // Every node must have seen stamp == r in round r: nobody raced
+    // ahead through a barrier.
+    for (int n = 0; n < m.nodes(); ++n) {
+        ASSERT_EQ(phases[n].size(), static_cast<std::size_t>(rounds));
+        for (int r = 0; r < rounds; ++r)
+            EXPECT_EQ(phases[n][r], r) << "node " << n;
+    }
+}
+
+TEST(Barrier, SharedMemoryTreeBarrierSeparatesRounds)
+{
+    checkBarrier(proc::SyncStyle::SharedMemory,
+                 msg::RecvMode::Interrupt);
+}
+
+TEST(Barrier, MessagePassingInterruptBarrier)
+{
+    checkBarrier(proc::SyncStyle::MessagePassing,
+                 msg::RecvMode::Interrupt);
+}
+
+TEST(Barrier, MessagePassingPollingBarrier)
+{
+    checkBarrier(proc::SyncStyle::MessagePassing,
+                 msg::RecvMode::Polling);
+}
+
+TEST(Barrier, SharedMemoryBarrierAvoidsLimitlessTraps)
+{
+    // The 4-ary flag tree keeps every line within the 5 hardware
+    // pointers even on the full 32-node machine.
+    Machine m(MachineConfig{}, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    std::vector<std::vector<int>> phases(m.nodes());
+    int stamp = 0;
+    m.run([&](Ctx &ctx) {
+        return barrierProgram(ctx, phases, stamp, 3);
+    });
+    EXPECT_EQ(m.counters().limitlessTraps, 0u);
+}
+
+TEST(Barrier, WaitTimeIsAttributedToSync)
+{
+    Machine m(smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        // Node 0 arrives very late; everyone else should accumulate
+        // Sync time.
+        if (ctx.self() == 0)
+            co_await ctx.compute(50000);
+        co_await ctx.barrier();
+    };
+    m.run(prog);
+    const auto &bd = m.procAt(1).breakdown();
+    EXPECT_GT(ticksToCycles(bd.get(TimeCat::Sync)), 30000.0);
+    const auto &bd0 = m.procAt(0).breakdown();
+    EXPECT_GT(ticksToCycles(bd0.get(TimeCat::Compute)), 49000.0);
+}
+
+TEST(Processor, ComputeIsAttributedToCompute)
+{
+    Machine m(smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        co_await ctx.compute(123);
+        co_await ctx.compute(877);
+    };
+    m.run(prog);
+    for (int i = 0; i < m.nodes(); ++i) {
+        EXPECT_NEAR(ticksToCycles(
+                        m.procAt(i).breakdown().get(TimeCat::Compute)),
+                    1000.0, 0.01);
+    }
+}
+
+TEST(Processor, HandlerStealsCyclesFromComputeBlock)
+{
+    Machine m(smallConfig(), proc::SyncStyle::MessagePassing,
+              msg::RecvMode::Interrupt);
+    struct St
+    {
+        msg::HandlerId h = -1;
+    } st;
+    st.h = m.handlers().add([](msg::HandlerEnv &env) {
+        env.charge(500); // expensive handler
+    });
+    auto prog = [&st](Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0) {
+            co_await ctx.send(1, st.h, {});
+        } else if (ctx.self() == 1) {
+            co_await ctx.compute(10000);
+        }
+        co_return;
+    };
+    const Tick finish = m.run(prog);
+    // Node 1's wall clock must exceed its compute by the handler cost.
+    EXPECT_GT(ticksToCycles(m.procAt(1).localNow()), 10400.0);
+    EXPECT_GT(ticksToCycles(
+                  m.procAt(1).breakdown().get(TimeCat::MsgOverhead)),
+              500.0);
+    (void)finish;
+}
+
+TEST(Processor, RuntimeEqualsSlowestNode)
+{
+    Machine m(smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    auto prog = [](Ctx &ctx) -> sim::Thread {
+        co_await ctx.compute(100.0 * (ctx.self() + 1));
+    };
+    const Tick finish = m.run(prog);
+    EXPECT_NEAR(ticksToCycles(finish), 100.0 * m.nodes(), 1.0);
+}
+
+} // namespace
+} // namespace alewife

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the coroutine plumbing (Thread, SubTask).
+ */
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/coro.hh"
+
+namespace alewife::sim {
+namespace {
+
+/** A trivially resumable awaitable that records its suspension. */
+struct ManualAwait
+{
+    std::coroutine_handle<> *slot;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) const { *slot = h; }
+    void await_resume() const {}
+};
+
+Thread
+simpleProgram(int &out, std::coroutine_handle<> &slot)
+{
+    out = 1;
+    co_await ManualAwait{&slot};
+    out = 2;
+}
+
+TEST(Thread, StartsSuspendedAndRunsOnResume)
+{
+    int out = 0;
+    std::coroutine_handle<> slot;
+    Thread t = simpleProgram(out, slot);
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(out, 0);
+    t.resume();
+    EXPECT_EQ(out, 1);
+    EXPECT_FALSE(t.done());
+    slot.resume();
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(t.done());
+}
+
+Thread
+throwingProgram()
+{
+    co_await std::suspend_never{};
+    throw std::runtime_error("boom");
+}
+
+TEST(Thread, ExceptionSurfacesOnResume)
+{
+    Thread t = throwingProgram();
+    EXPECT_THROW(t.resume(), std::runtime_error);
+    EXPECT_TRUE(t.done());
+}
+
+SubTask<int>
+innerValue(std::coroutine_handle<> &slot)
+{
+    co_await ManualAwait{&slot};
+    co_return 42;
+}
+
+Thread
+outerProgram(int &out, std::coroutine_handle<> &slot)
+{
+    out = co_await innerValue(slot);
+}
+
+TEST(SubTask, ValuePropagatesThroughNesting)
+{
+    int out = 0;
+    std::coroutine_handle<> slot;
+    Thread t = outerProgram(out, slot);
+    t.resume(); // runs into the subtask, suspends at ManualAwait
+    EXPECT_EQ(out, 0);
+    EXPECT_FALSE(t.done());
+    slot.resume(); // completes subtask, symmetric-transfers to parent
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(t.done());
+}
+
+SubTask<void>
+innerThrows()
+{
+    co_await std::suspend_never{};
+    throw std::logic_error("inner");
+}
+
+Thread
+outerCatches(bool &caught)
+{
+    try {
+        co_await innerThrows();
+    } catch (const std::logic_error &) {
+        caught = true;
+    }
+}
+
+TEST(SubTask, ExceptionPropagatesToParent)
+{
+    bool caught = false;
+    Thread t = outerCatches(caught);
+    t.resume();
+    EXPECT_TRUE(caught);
+    EXPECT_TRUE(t.done());
+}
+
+SubTask<int>
+deepest(std::coroutine_handle<> &slot)
+{
+    co_await ManualAwait{&slot};
+    co_return 7;
+}
+
+SubTask<int>
+middle(std::coroutine_handle<> &slot)
+{
+    const int v = co_await deepest(slot);
+    co_return v * 3;
+}
+
+Thread
+deepProgram(int &out, std::coroutine_handle<> &slot)
+{
+    out = co_await middle(slot);
+}
+
+TEST(SubTask, TwoLevelNesting)
+{
+    int out = 0;
+    std::coroutine_handle<> slot;
+    Thread t = deepProgram(out, slot);
+    t.resume();
+    slot.resume();
+    EXPECT_EQ(out, 21);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Thread, MoveTransfersOwnership)
+{
+    int out = 0;
+    std::coroutine_handle<> slot;
+    Thread a = simpleProgram(out, slot);
+    Thread b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.resume();
+    EXPECT_EQ(out, 1);
+}
+
+} // namespace
+} // namespace alewife::sim

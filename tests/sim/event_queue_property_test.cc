@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Property test: the EventQueue against a naive reference model.
+ * Random schedules, nested schedules and cancellations must fire in
+ * exactly the order a sorted-stable reference predicts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace alewife {
+namespace {
+
+struct RefEvent
+{
+    Tick when;
+    std::uint64_t seq;
+    int id;
+    bool cancelled = false;
+};
+
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventQueueProperty, MatchesReferenceModel)
+{
+    Rng rng(GetParam());
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<RefEvent> ref;
+    std::vector<EventHandle> handles;
+    std::uint64_t seq = 0;
+    int next_id = 0;
+
+    // Phase 1: random initial schedule.
+    for (int i = 0; i < 200; ++i) {
+        const Tick when = rng.nextBounded(1000);
+        const int id = next_id++;
+        ref.push_back({when, seq++, id});
+        handles.push_back(
+            eq.schedule(when, [&fired, id]() { fired.push_back(id); }));
+    }
+
+    // Phase 2: cancel a random subset.
+    for (int i = 0; i < 60; ++i) {
+        const auto k = rng.nextBounded(handles.size());
+        handles[k].cancel();
+        ref[k].cancelled = true;
+    }
+
+    // Reference order: (when, seq), skipping cancelled.
+    std::vector<RefEvent> order = ref;
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [](const RefEvent &e) {
+                                   return e.cancelled;
+                               }),
+                order.end());
+    std::stable_sort(order.begin(), order.end(),
+                     [](const RefEvent &a, const RefEvent &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.seq < b.seq;
+                     });
+
+    eq.run();
+
+    ASSERT_EQ(fired.size(), order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(fired[i], order[i].id) << "position " << i;
+}
+
+TEST_P(EventQueueProperty, NestedSchedulingKeepsTimeMonotone)
+{
+    Rng rng(GetParam());
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    int remaining = 300;
+
+    std::function<void()> chain = [&]() {
+        if (eq.now() < last)
+            monotone = false;
+        last = eq.now();
+        if (--remaining > 0) {
+            eq.schedule(eq.now() + rng.nextBounded(50),
+                        [&]() { chain(); });
+        }
+    };
+    eq.schedule(0, chain);
+    eq.run();
+
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(remaining, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+} // namespace
+} // namespace alewife

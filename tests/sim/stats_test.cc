@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace alewife {
+namespace {
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(cyclesToTicks(std::uint64_t(5)), 500u);
+    EXPECT_EQ(cyclesToTicks(0.8), 80u);
+    EXPECT_EQ(cyclesToTicks(1.6), 160u);
+    EXPECT_DOUBLE_EQ(ticksToCycles(250), 2.5);
+}
+
+TEST(TimeBreakdown, AddAndTotal)
+{
+    TimeBreakdown b;
+    b.add(TimeCat::Compute, 100);
+    b.add(TimeCat::Sync, 50);
+    b.add(TimeCat::Compute, 25);
+    EXPECT_EQ(b.get(TimeCat::Compute), 125u);
+    EXPECT_EQ(b.total(), 175u);
+}
+
+TEST(TimeBreakdown, Accumulate)
+{
+    TimeBreakdown a, b;
+    a.add(TimeCat::MemWait, 10);
+    b.add(TimeCat::MemWait, 20);
+    b.add(TimeCat::MsgOverhead, 5);
+    a += b;
+    EXPECT_EQ(a.get(TimeCat::MemWait), 30u);
+    EXPECT_EQ(a.get(TimeCat::MsgOverhead), 5u);
+}
+
+TEST(VolumeBreakdown, AddAndTotal)
+{
+    VolumeBreakdown v;
+    v.add(VolCat::Requests, 16);
+    v.add(VolCat::Data, 32);
+    v.add(VolCat::Requests, 16);
+    EXPECT_EQ(v.get(VolCat::Requests), 32u);
+    EXPECT_EQ(v.total(), 64u);
+}
+
+TEST(MachineCounters, Accumulate)
+{
+    MachineCounters a, b;
+    a.cacheHits = 5;
+    b.cacheHits = 7;
+    b.limitlessTraps = 2;
+    a += b;
+    EXPECT_EQ(a.cacheHits, 12u);
+    EXPECT_EQ(a.limitlessTraps, 2u);
+}
+
+TEST(Stats, CategoryNames)
+{
+    EXPECT_STREQ(timeCatName(TimeCat::Compute), "compute");
+    EXPECT_STREQ(timeCatName(TimeCat::Sync), "sync");
+    EXPECT_STREQ(volCatName(VolCat::Invalidates), "invalidates");
+    EXPECT_STREQ(volCatName(VolCat::Data), "data");
+}
+
+} // namespace
+} // namespace alewife

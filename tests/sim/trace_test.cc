@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the categorized trace switchboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "sim/trace.hh"
+
+namespace alewife {
+namespace {
+
+TEST(Trace, CategoriesToggleIndependently)
+{
+    Trace::enableAll(false);
+    EXPECT_FALSE(Trace::enabled(TraceCat::Coh));
+    Trace::enable(TraceCat::Coh);
+    EXPECT_TRUE(Trace::enabled(TraceCat::Coh));
+    EXPECT_FALSE(Trace::enabled(TraceCat::Net));
+    Trace::enable(TraceCat::Coh, false);
+    EXPECT_FALSE(Trace::enabled(TraceCat::Coh));
+}
+
+TEST(Trace, NamesMatchCategories)
+{
+    EXPECT_STREQ(traceCatName(TraceCat::Coh), "coh");
+    EXPECT_STREQ(traceCatName(TraceCat::Net), "net");
+    EXPECT_STREQ(traceCatName(TraceCat::Msg), "msg");
+    EXPECT_STREQ(traceCatName(TraceCat::Proc), "proc");
+    EXPECT_STREQ(traceCatName(TraceCat::Sync), "sync");
+}
+
+TEST(Trace, EnabledCategoryEmitsDuringSimulation)
+{
+    Trace::enableAll(false);
+    Trace::enable(TraceCat::Coh);
+    const auto before = Trace::linesEmitted();
+
+    Machine m(test::smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.run([a](proc::Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0)
+            co_await ctx.read(a);
+        co_return;
+    });
+
+    EXPECT_GT(Trace::linesEmitted(), before);
+    Trace::enableAll(false);
+}
+
+TEST(Trace, DisabledCategoriesAreSilent)
+{
+    Trace::enableAll(false);
+    const auto before = Trace::linesEmitted();
+
+    Machine m(test::smallConfig(), proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Interrupt);
+    const Addr a = m.mem().alloc(2, mem::HomePolicy::Fixed, 5);
+    m.run([a](proc::Ctx &ctx) -> sim::Thread {
+        if (ctx.self() == 0)
+            co_await ctx.read(a);
+        co_return;
+    });
+
+    EXPECT_EQ(Trace::linesEmitted(), before);
+}
+
+} // namespace
+} // namespace alewife

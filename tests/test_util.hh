@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared helpers for machine-level tests.
+ */
+
+#ifndef ALEWIFE_TESTS_TEST_UTIL_HH
+#define ALEWIFE_TESTS_TEST_UTIL_HH
+
+#include "machine/machine.hh"
+
+namespace alewife::test {
+
+/** A small 8-node machine for fast protocol tests. */
+inline MachineConfig
+smallConfig()
+{
+    MachineConfig c;
+    c.meshX = 4;
+    c.meshY = 2;
+    return c;
+}
+
+/** The paper's 32-node Alewife. */
+inline MachineConfig
+alewifeConfig()
+{
+    return MachineConfig{};
+}
+
+} // namespace alewife::test
+
+#endif // ALEWIFE_TESTS_TEST_UTIL_HH

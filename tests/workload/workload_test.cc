@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Workload-generator tests: determinism, structural invariants, and
+ * sequential-reference sanity for all four application inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/bipartite.hh"
+#include "workload/molecules.hh"
+#include "workload/sparse_matrix.hh"
+#include "workload/unstructured_mesh.hh"
+
+namespace alewife::workload {
+namespace {
+
+// ------------------------------------------------------------------
+// EM3D bipartite graph
+// ------------------------------------------------------------------
+
+TEST(Bipartite, Deterministic)
+{
+    BipartiteParams p;
+    p.nodesPerSide = 200;
+    p.nprocs = 8;
+    const BipartiteGraph a = makeBipartite(p);
+    const BipartiteGraph b = makeBipartite(p);
+    ASSERT_EQ(a.eEdges.size(), b.eEdges.size());
+    for (std::size_t i = 0; i < a.eEdges.size(); ++i) {
+        EXPECT_EQ(a.eEdges[i].src, b.eEdges[i].src);
+        EXPECT_DOUBLE_EQ(a.eEdges[i].weight, b.eEdges[i].weight);
+    }
+    EXPECT_DOUBLE_EQ(a.sequential(3), b.sequential(3));
+}
+
+TEST(Bipartite, DegreeIsExact)
+{
+    BipartiteParams p;
+    p.nodesPerSide = 100;
+    p.degree = 7;
+    p.nprocs = 4;
+    const BipartiteGraph g = makeBipartite(p);
+    for (std::int32_t n = 0; n < p.nodesPerSide; ++n) {
+        EXPECT_EQ(g.eRow[n + 1] - g.eRow[n], 7);
+        EXPECT_EQ(g.hRow[n + 1] - g.hRow[n], 7);
+    }
+}
+
+TEST(Bipartite, RemoteFractionNearTarget)
+{
+    BipartiteParams p;
+    p.nodesPerSide = 4000;
+    p.degree = 10;
+    p.pctRemote = 0.2;
+    p.nprocs = 32;
+    const BipartiteGraph g = makeBipartite(p);
+    std::int64_t remote = 0, total = 0;
+    for (std::int32_t n = 0; n < p.nodesPerSide; ++n) {
+        for (std::int32_t k = g.eRow[n]; k < g.eRow[n + 1]; ++k) {
+            remote += g.owner(g.eEdges[k].src) != g.owner(n) ? 1 : 0;
+            ++total;
+        }
+    }
+    const double frac = static_cast<double>(remote) / total;
+    EXPECT_NEAR(frac, 0.2, 0.03);
+}
+
+TEST(Bipartite, SpanBoundsRemoteEdges)
+{
+    BipartiteParams p;
+    p.nodesPerSide = 3200;
+    p.degree = 8;
+    p.span = 3;
+    p.nprocs = 32;
+    const BipartiteGraph g = makeBipartite(p);
+    for (std::int32_t n = 0; n < p.nodesPerSide; ++n) {
+        for (std::int32_t k = g.eRow[n]; k < g.eRow[n + 1]; ++k) {
+            const int d = std::abs(g.owner(g.eEdges[k].src)
+                                   - g.owner(n));
+            const int wrapped = std::min(d, p.nprocs - d);
+            EXPECT_LE(wrapped, p.span);
+        }
+    }
+}
+
+TEST(Bipartite, SequentialConverges)
+{
+    BipartiteParams p;
+    p.nodesPerSide = 100;
+    p.nprocs = 4;
+    const BipartiteGraph g = makeBipartite(p);
+    const double s = g.sequential(5);
+    EXPECT_TRUE(std::isfinite(s));
+}
+
+// ------------------------------------------------------------------
+// UNSTRUC mesh
+// ------------------------------------------------------------------
+
+TEST(Mesh, Deterministic)
+{
+    MeshParams p;
+    p.nodes = 300;
+    p.nprocs = 8;
+    const UnstructuredMesh a = makeMesh(p);
+    const UnstructuredMesh b = makeMesh(p);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    EXPECT_DOUBLE_EQ(a.sequential(2), b.sequential(2));
+}
+
+TEST(Mesh, EdgesAreUniqueAndOrdered)
+{
+    MeshParams p;
+    p.nodes = 500;
+    p.nprocs = 8;
+    const UnstructuredMesh m = makeMesh(p);
+    std::set<std::pair<std::int32_t, std::int32_t>> seen;
+    for (const MeshEdge &e : m.edges) {
+        EXPECT_LT(e.u, e.v);
+        EXPECT_GE(e.u, 0);
+        EXPECT_LT(e.v, p.nodes);
+        EXPECT_TRUE(seen.insert({e.u, e.v}).second);
+    }
+}
+
+TEST(Mesh, MostEdgesAreLocal)
+{
+    MeshParams p;
+    p.nodes = 2000;
+    p.nprocs = 32;
+    const UnstructuredMesh m = makeMesh(p);
+    std::int64_t local = 0;
+    for (const MeshEdge &e : m.edges)
+        local += m.owner(e.u) == m.owner(e.v) ? 1 : 0;
+    EXPECT_GT(static_cast<double>(local) / m.edges.size(), 0.4);
+}
+
+// ------------------------------------------------------------------
+// ICCG triangular system
+// ------------------------------------------------------------------
+
+TEST(Triangular, Deterministic)
+{
+    TriangularParams p;
+    p.rows = 400;
+    p.nprocs = 8;
+    const TriangularSystem a = makeTriangular(p);
+    const TriangularSystem b = makeTriangular(p);
+    EXPECT_DOUBLE_EQ(a.sequential(), b.sequential());
+}
+
+TEST(Triangular, StrictlyLowerTriangular)
+{
+    TriangularParams p;
+    p.rows = 500;
+    p.nprocs = 8;
+    const TriangularSystem t = makeTriangular(p);
+    for (std::int32_t r = 0; r < p.rows; ++r) {
+        for (std::int32_t k = t.row[r]; k < t.row[r + 1]; ++k) {
+            EXPECT_LT(t.entries[k].col, r);
+            EXPECT_GE(t.entries[k].col, 0);
+        }
+    }
+}
+
+TEST(Triangular, SolveSatisfiesSystem)
+{
+    TriangularParams p;
+    p.rows = 300;
+    p.nprocs = 8;
+    const TriangularSystem t = makeTriangular(p);
+    const std::vector<double> x = t.solve();
+    for (std::int32_t r = 0; r < p.rows; ++r) {
+        double lhs = t.diag[r] * x[r];
+        for (std::int32_t k = t.row[r]; k < t.row[r + 1]; ++k)
+            lhs += t.entries[k].val * x[t.entries[k].col];
+        EXPECT_NEAR(lhs, t.b[r], 1e-9);
+    }
+}
+
+TEST(Triangular, HasDeepLevelStructure)
+{
+    TriangularParams p;
+    p.rows = 2000;
+    p.nprocs = 32;
+    const TriangularSystem t = makeTriangular(p);
+    // A DAG, not an embarrassingly parallel diagonal system.
+    EXPECT_GT(t.levels(), 20);
+    EXPECT_LT(t.levels(), p.rows);
+}
+
+TEST(Triangular, WrapMappingBalancesRows)
+{
+    TriangularParams p;
+    p.rows = 640;
+    p.nprocs = 32;
+    const TriangularSystem t = makeTriangular(p);
+    for (int q = 0; q < p.nprocs; ++q)
+        EXPECT_EQ(t.rowsOf(q).size(), 20u);
+}
+
+// ------------------------------------------------------------------
+// MOLDYN molecules
+// ------------------------------------------------------------------
+
+TEST(Moldyn, Deterministic)
+{
+    MoldynParams p;
+    p.molecules = 256;
+    p.nprocs = 8;
+    const MoldynSystem a = makeMoldyn(p);
+    const MoldynSystem b = makeMoldyn(p);
+    ASSERT_EQ(a.pairs.size(), b.pairs.size());
+    EXPECT_DOUBLE_EQ(a.sequential(3), b.sequential(3));
+}
+
+TEST(Moldyn, PairsRespectCutoff)
+{
+    MoldynParams p;
+    p.molecules = 300;
+    p.nprocs = 8;
+    const MoldynSystem s = makeMoldyn(p);
+    for (const Pair &pr : s.pairs) {
+        EXPECT_LT(pr.i, pr.j);
+        double d2 = 0;
+        for (int d = 0; d < 3; ++d) {
+            const double dx = s.init[pr.j].x[d] - s.init[pr.i].x[d];
+            d2 += dx * dx;
+        }
+        EXPECT_LT(std::sqrt(d2), p.cutoff);
+    }
+}
+
+TEST(Moldyn, RcbBlocksAreContiguousAndComplete)
+{
+    MoldynParams p;
+    p.molecules = 500;
+    p.nprocs = 32;
+    const MoldynSystem s = makeMoldyn(p);
+    EXPECT_EQ(s.firstOf.front(), 0);
+    EXPECT_EQ(s.firstOf.back(), p.molecules);
+    for (int q = 0; q < p.nprocs; ++q)
+        EXPECT_LE(s.firstOf[q], s.firstOf[q + 1]);
+    // Ownership must be consistent with the block boundaries.
+    for (std::int32_t i = 0; i < p.molecules; ++i) {
+        const int q = s.owner(i);
+        EXPECT_GE(i, s.firstOf[q]);
+        EXPECT_LT(i, s.firstOf[q + 1]);
+    }
+}
+
+TEST(Moldyn, RcbReducesCrossPairs)
+{
+    MoldynParams p;
+    p.molecules = 800;
+    p.nprocs = 32;
+    const MoldynSystem s = makeMoldyn(p);
+    std::int64_t cross = 0;
+    for (const Pair &pr : s.pairs)
+        cross += s.owner(pr.i) != s.owner(pr.j) ? 1 : 0;
+    // Spatial partitioning keeps most cutoff pairs within a group.
+    EXPECT_LT(static_cast<double>(cross) / s.pairs.size(), 0.7);
+    EXPECT_GT(s.pairs.size(), 100u);
+}
+
+TEST(Moldyn, MaxwellianVelocities)
+{
+    MoldynParams p;
+    p.molecules = 4000;
+    p.nprocs = 8;
+    const MoldynSystem s = makeMoldyn(p);
+    double sum = 0, sq = 0;
+    for (const Molecule &m : s.init) {
+        for (int d = 0; d < 3; ++d) {
+            sum += m.v[d];
+            sq += m.v[d] * m.v[d];
+        }
+    }
+    const double n = 3.0 * p.molecules;
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+} // namespace
+} // namespace alewife::workload
