@@ -7,11 +7,18 @@
  * every protocol event of every run), but preserve the structural
  * ratios that drive the results; pass --full for sizes closer to the
  * paper's, --quick for smoke-test sizes.
+ *
+ * All benches also accept --jobs N (or the ALEWIFE_JOBS environment
+ * variable) to fan independent simulations out over worker threads,
+ * and --cache-dir DIR to persist results between invocations — see
+ * BenchEngine below.
  */
 
 #ifndef ALEWIFE_BENCH_COMMON_HH
 #define ALEWIFE_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -24,6 +31,7 @@
 #include "apps/unstruc.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
+#include "exp/result_cache.hh"
 
 namespace alewife::bench {
 
@@ -153,6 +161,80 @@ allMechs()
     const auto a = core::allMechanisms();
     return {a.begin(), a.end()};
 }
+
+/**
+ * Shared orchestration setup for benches. Parses
+ *
+ *   --jobs N        run up to N simulations concurrently (default: the
+ *                   ALEWIFE_JOBS environment variable, else 1)
+ *   --cache-dir D   persist results as JSON under D; reruns at the
+ *                   same scale skip simulations already cached
+ *
+ * and hands each bench per-app exp::EngineOptions via options(). The
+ * cache key includes the workload identity (app name + scale), so
+ * --quick and --full runs never collide.
+ */
+class BenchEngine
+{
+  public:
+    BenchEngine(int argc, char **argv, Scale scale)
+        : cache_(cacheDirArg(argc, argv)), scale_(scale)
+    {
+        jobs_ = 1;
+        if (const char *env = std::getenv("ALEWIFE_JOBS"))
+            jobs_ = std::max(1, std::atoi(env));
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--jobs") == 0)
+                jobs_ = std::max(1, std::atoi(argv[i + 1]));
+    }
+
+    /** Engine options for one app's runs; @p appName keys the cache. */
+    exp::EngineOptions
+    options(const std::string &appName)
+    {
+        exp::EngineOptions opts;
+        opts.jobs = jobs_;
+        if (!cache_.dir().empty()) {
+            opts.cache = &cache_;
+            opts.appKey = appName + "/" + scaleName(scale_);
+        }
+        return opts;
+    }
+
+    int
+    jobs() const
+    {
+        return jobs_;
+    }
+
+  private:
+    static std::string
+    cacheDirArg(int argc, char **argv)
+    {
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--cache-dir") == 0)
+                return argv[i + 1];
+        return "";
+    }
+
+    static const char *
+    scaleName(Scale s)
+    {
+        switch (s) {
+          case Scale::Quick:
+            return "quick";
+          case Scale::Default:
+            return "default";
+          case Scale::Full:
+            return "full";
+        }
+        return "?";
+    }
+
+    exp::ResultCache cache_;
+    Scale scale_;
+    int jobs_ = 1;
+};
 
 } // namespace alewife::bench
 

@@ -13,6 +13,7 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     std::cout << "FIG4: execution-time breakdowns on Alewife ("
@@ -20,7 +21,7 @@ main(int argc, char **argv)
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
         const auto results = core::runAllMechanisms(
-            factory, base, bench::allMechs());
+            factory, base, bench::allMechs(), engine.options(name));
         core::printBreakdownTable(std::cout, name, results);
         for (const auto &r : results)
             core::printCounters(std::cout, r);

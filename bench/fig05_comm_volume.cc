@@ -14,13 +14,14 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     std::cout << "FIG5: communication volume breakdowns\n\n";
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
         const auto results = core::runAllMechanisms(
-            factory, base, bench::allMechs());
+            factory, base, bench::allMechs(), engine.options(name));
         core::printVolumeTable(std::cout, name, results);
         // The SM : MP volume ratio the paper highlights (up to ~6x).
         const double sm =

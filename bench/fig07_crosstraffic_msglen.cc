@@ -14,6 +14,7 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     std::vector<std::uint32_t> lens = {16, 32, 64, 128, 256, 512};
@@ -32,7 +33,7 @@ main(int argc, char **argv)
     const auto series = core::msgLenSweep(
         factory, base,
         {core::Mechanism::SharedMemory, core::Mechanism::MpInterrupt},
-        consumed, lens);
+        consumed, lens, engine.options("EM3D"));
     core::printSeries(std::cout, "EM3D", "cross msg bytes", series);
     return 0;
 }

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     std::vector<double> bisections = {18.0, 14.0, 10.0, 7.0, 5.0, 3.5};
@@ -26,7 +27,8 @@ main(int argc, char **argv)
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
         const auto series = core::bisectionSweep(
-            factory, base, bench::allMechs(), bisections, 64);
+            factory, base, bench::allMechs(), bisections, 64,
+            engine.options(name));
         core::printSeries(std::cout, name, "bisection B/cyc", series);
 
         // Report the SM-vs-MP crossover, if the sweep reaches it.

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     // 14..20 MHz is the hardware range; beyond emulates faster CPUs.
@@ -28,8 +29,8 @@ main(int argc, char **argv)
                  "(cycles), via clock scaling\n\n";
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
-        const auto series =
-            core::clockSweep(factory, base, bench::allMechs(), mhz);
+        const auto series = core::clockSweep(
+            factory, base, bench::allMechs(), mhz, engine.options(name));
         core::printSeries(std::cout, name, "net lat (cycles)", series);
 
         // Sensitivity: slope of SM vs MP across the sweep.

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 {
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchEngine engine(argc, argv, scale);
     const MachineConfig base;
 
     std::vector<double> lat = {15, 30, 50, 100, 200, 400};
@@ -28,7 +29,7 @@ main(int argc, char **argv)
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
         const auto series = core::idealLatencySweep(
-            factory, base, bench::allMechs(), lat);
+            factory, base, bench::allMechs(), lat, engine.options(name));
         core::printSeries(std::cout, name, "ideal lat (cyc)", series);
 
         // The Chandra-et-al. checkpoint at ~100 cycles.

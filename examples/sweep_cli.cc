@@ -1,22 +1,35 @@
 /**
  * @file
- * Example: a command-line sweep driver over the public experiment API.
+ * Example: a command-line sweep driver over the public experiment API,
+ * running through the parallel orchestration engine (src/exp/).
  *
  * Runs any paper application under any mechanism subset across any of
- * the three paper sweeps without writing code:
+ * the paper sweeps without writing code:
  *
  *   sweep_cli --app em3d --mechs SM,MP-I --sweep bisection \
- *             --points 18,9,4.5
+ *             --points 18,9,4.5 --jobs 4
  *   sweep_cli --app iccg --mechs SM,MP-P --sweep ideal-latency \
- *             --points 15,100,400
- *   sweep_cli --app moldyn --sweep clock --points 14,20,40
+ *             --points 15,100,400 --out iccg.json
+ *   sweep_cli --app moldyn --sweep clock --points 14,20,40 \
+ *             --cache-dir ~/.cache/alewife
  *   sweep_cli --app unstruc --sweep none          # plain Figure-4 row
  *
+ * --jobs N       run up to N simulations on worker threads (results
+ *                are byte-identical to --jobs 1)
+ * --out FILE     also write structured results; .csv extension emits
+ *                CSV, anything else schema-versioned JSON
+ * --cache-dir D  persist results as JSON under D and skip any run
+ *                already cached there
+ * --progress     report jobs done / running and sim-events/sec
+ *
  * Every run is verified against the application's sequential
- * reference; the driver exits non-zero on any mismatch.
+ * reference; the driver exits non-zero on any mismatch. Unknown
+ * --app / --sweep / mechanism names are reported and rejected.
  */
 
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -29,6 +42,8 @@
 #include "apps/unstruc.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
+#include "exp/result_cache.hh"
+#include "exp/serialize.hh"
 
 using namespace alewife;
 
@@ -41,6 +56,10 @@ struct Options
     std::vector<core::Mechanism> mechs;
     std::vector<double> points;
     double scale = 1.0;
+    int jobs = 1;
+    std::string out;      ///< structured output file; "" = none
+    std::string cacheDir; ///< on-disk result cache; "" = no cache
+    bool progress = false;
 };
 
 std::vector<std::string>
@@ -60,11 +79,42 @@ usage()
     std::cerr
         << "usage: sweep_cli [--app em3d|unstruc|iccg|moldyn|stream]\n"
            "                 [--mechs SM,SM+PF,MP-I,MP-P,BULK]\n"
-           "                 [--sweep none|bisection|clock|"
+           "                 [--sweep none|bisection|msglen|clock|"
            "ideal-latency]\n"
            "                 [--points x1,x2,...]\n"
-           "                 [--scale f]   (workload size multiplier)\n";
+           "                 [--scale f]   (workload size multiplier)\n"
+           "                 [--jobs n]    (parallel simulations)\n"
+           "                 [--out file]  (.csv -> CSV, else JSON)\n"
+           "                 [--cache-dir dir]\n"
+           "                 [--progress]\n";
     std::exit(2);
+}
+
+/** Reject with a message naming the offending value, then usage. */
+[[noreturn]] void
+badValue(const std::string &what, const std::string &value,
+         const std::string &valid)
+{
+    std::cerr << "sweep_cli: unknown " << what << " '" << value
+              << "' (valid: " << valid << ")\n\n";
+    usage();
+}
+
+const char *const kValidApps = "em3d, unstruc, iccg, moldyn, stream";
+const char *const kValidSweeps =
+    "none, bisection, msglen, clock, ideal-latency";
+
+double
+parseNum(const std::string &opt, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        if (used == text.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    badValue(opt + " value", text, "a number");
 }
 
 Options
@@ -74,23 +124,50 @@ parse(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
+            if (i + 1 >= argc) {
+                std::cerr << "sweep_cli: " << a
+                          << " requires a value\n\n";
                 usage();
+            }
             return argv[++i];
         };
         if (a == "--app") {
             o.app = next();
         } else if (a == "--mechs") {
-            for (const auto &m : splitCommas(next()))
+            for (const auto &m : splitCommas(next())) {
+                // mechanismFromName() is fatal on bad names; pre-check
+                // so the error names the value and lists valid ones.
+                bool known = false;
+                for (core::Mechanism cand : core::allMechanisms())
+                    known |= m == core::mechanismShortName(cand)
+                             || m == core::mechanismName(cand);
+                if (!known)
+                    badValue("mechanism", m,
+                             "SM, SM+PF, MP-I, MP-P, BULK");
                 o.mechs.push_back(core::mechanismFromName(m));
+            }
         } else if (a == "--sweep") {
             o.sweep = next();
         } else if (a == "--points") {
             for (const auto &p : splitCommas(next()))
-                o.points.push_back(std::stod(p));
+                o.points.push_back(parseNum("--points", p));
         } else if (a == "--scale") {
-            o.scale = std::stod(next());
+            o.scale = parseNum("--scale", next());
+        } else if (a == "--jobs") {
+            const std::string v = next();
+            o.jobs = static_cast<int>(parseNum("--jobs", v));
+            if (o.jobs < 1)
+                badValue("--jobs value", v, "a positive integer");
+        } else if (a == "--out") {
+            o.out = next();
+        } else if (a == "--cache-dir") {
+            o.cacheDir = next();
+        } else if (a == "--progress") {
+            o.progress = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
         } else {
+            std::cerr << "sweep_cli: unknown option '" << a << "'\n\n";
             usage();
         }
     }
@@ -135,7 +212,25 @@ makeFactory(const Options &o)
         p.iters = 4;
         return apps::Stream::factory(p);
     }
-    usage();
+    badValue("--app", o.app, kValidApps);
+}
+
+void
+writeStructured(const std::string &path, const exp::Json &doc,
+                const std::function<void(std::ostream &)> &csv)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "sweep_cli: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    const bool wantCsv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (wantCsv)
+        csv(out);
+    else
+        out << doc.dump(2) << '\n';
+    std::cerr << "wrote " << path << "\n";
 }
 
 } // namespace
@@ -147,11 +242,38 @@ main(int argc, char **argv)
     const auto factory = makeFactory(o);
     const MachineConfig base;
 
+    exp::ResultCache cache(o.cacheDir);
+    exp::EngineOptions opts;
+    opts.jobs = o.jobs;
+    opts.cache = o.cacheDir.empty() ? nullptr : &cache;
+    // Workload identity for the cache: app name + everything that
+    // changes the generated workload (here, just the scale).
+    {
+        std::ostringstream key;
+        key << o.app << "/scale=" << o.scale;
+        opts.appKey = key.str();
+    }
+    if (o.progress) {
+        opts.onProgress = [](const exp::Progress &p) {
+            std::cerr << "  [" << p.done << "/" << p.queued << "] "
+                      << p.running << " running, " << p.cacheHits
+                      << " cached, "
+                      << static_cast<std::uint64_t>(p.eventsPerSec())
+                      << " sim-events/s\n";
+        };
+    }
+
     if (o.sweep == "none") {
         const auto results =
-            core::runAllMechanisms(factory, base, o.mechs);
+            core::runAllMechanisms(factory, base, o.mechs, opts);
         core::printBreakdownTable(std::cout, o.app, results);
         core::printVolumeTable(std::cout, o.app, results);
+        if (!o.out.empty()) {
+            writeStructured(o.out, exp::batchToJson(o.app, results),
+                            [&](std::ostream &os) {
+                                exp::writeBatchCsv(os, results);
+                            });
+        }
         return 0;
     }
 
@@ -161,24 +283,46 @@ main(int argc, char **argv)
         auto pts = o.points.empty()
                        ? std::vector<double>{18, 9, 4.5}
                        : o.points;
-        series = core::bisectionSweep(factory, base, o.mechs, pts);
+        series =
+            core::bisectionSweep(factory, base, o.mechs, pts, 64, opts);
         xlabel = "bisection B/cyc";
+    } else if (o.sweep == "msglen") {
+        auto pts = o.points.empty()
+                       ? std::vector<double>{16, 64, 256}
+                       : o.points;
+        std::vector<std::uint32_t> lens;
+        for (double p : pts)
+            lens.push_back(static_cast<std::uint32_t>(p));
+        // Consume half the native bisection, as in Figure 7.
+        series = core::msgLenSweep(factory, base, o.mechs,
+                                   base.bisectionBytesPerCycle() / 2.0,
+                                   lens, opts);
+        xlabel = "cross msg bytes";
     } else if (o.sweep == "clock") {
         auto pts = o.points.empty()
                        ? std::vector<double>{14, 20, 40}
                        : o.points;
-        series = core::clockSweep(factory, base, o.mechs, pts);
+        series = core::clockSweep(factory, base, o.mechs, pts, opts);
         xlabel = "net lat (cyc)";
     } else if (o.sweep == "ideal-latency") {
         auto pts = o.points.empty()
                        ? std::vector<double>{15, 100, 400}
                        : o.points;
-        series = core::idealLatencySweep(factory, base, o.mechs, pts);
+        series =
+            core::idealLatencySweep(factory, base, o.mechs, pts, opts);
         xlabel = "latency (cyc)";
     } else {
-        usage();
+        badValue("--sweep", o.sweep, kValidSweeps);
     }
     core::printSeries(std::cout, o.app + " / " + o.sweep, xlabel,
                       series);
+    if (!o.out.empty()) {
+        writeStructured(
+            o.out,
+            exp::seriesToJson(o.app + " / " + o.sweep, xlabel, series),
+            [&](std::ostream &os) {
+                exp::writeSeriesCsv(os, xlabel, series);
+            });
+    }
     return 0;
 }

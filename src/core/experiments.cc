@@ -4,31 +4,54 @@
 
 namespace alewife::core {
 
+namespace {
+
+/**
+ * Sweeps build a flat job list (one entry per mechanism x point),
+ * execute the whole batch through one SweepEngine pass, then reshape
+ * the flat, submission-ordered results back into per-mechanism series.
+ */
+std::vector<RunResult>
+runBatch(const AppFactory &app, std::vector<RunSpec> specs,
+         const exp::EngineOptions &opts)
+{
+    std::vector<exp::Job> jobs;
+    jobs.reserve(specs.size());
+    for (auto &spec : specs)
+        jobs.push_back(exp::Job{app, std::move(spec), opts.appKey});
+    exp::SweepEngine engine(opts);
+    return engine.run(jobs);
+}
+
+} // namespace
+
 std::vector<RunResult>
 runAllMechanisms(const AppFactory &app, const MachineConfig &base,
-                 const std::vector<Mechanism> &mechs)
+                 const std::vector<Mechanism> &mechs,
+                 const exp::EngineOptions &opts)
 {
-    std::vector<RunResult> out;
+    std::vector<RunSpec> specs;
+    specs.reserve(mechs.size());
     for (Mechanism m : mechs) {
         RunSpec spec;
         spec.machine = base;
         spec.mechanism = m;
-        out.push_back(runApp(app, spec));
+        specs.push_back(std::move(spec));
     }
-    return out;
+    return runBatch(app, std::move(specs), opts);
 }
 
 std::vector<MechSeries>
 bisectionSweep(const AppFactory &app, const MachineConfig &base,
                const std::vector<Mechanism> &mechs,
                const std::vector<double> &bisections,
-               std::uint32_t cross_msg_bytes)
+               std::uint32_t cross_msg_bytes,
+               const exp::EngineOptions &opts)
 {
-    std::vector<MechSeries> out;
     const double native = base.bisectionBytesPerCycle();
+    std::vector<RunSpec> specs;
+    specs.reserve(mechs.size() * bisections.size());
     for (Mechanism m : mechs) {
-        MechSeries s;
-        s.mech = m;
         for (double target : bisections) {
             if (target > native)
                 ALEWIFE_FATAL("cannot emulate a bisection above native");
@@ -37,8 +60,18 @@ bisectionSweep(const AppFactory &app, const MachineConfig &base,
             spec.mechanism = m;
             spec.crossTraffic.bytesPerCycle = native - target;
             spec.crossTraffic.messageBytes = cross_msg_bytes;
-            s.points.push_back({target, runApp(app, spec)});
+            specs.push_back(std::move(spec));
         }
+    }
+    const auto results = runBatch(app, std::move(specs), opts);
+
+    std::vector<MechSeries> out;
+    std::size_t k = 0;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (double target : bisections)
+            s.points.push_back({target, results[k++]});
         out.push_back(std::move(s));
     }
     return out;
@@ -48,21 +81,31 @@ std::vector<MechSeries>
 msgLenSweep(const AppFactory &app, const MachineConfig &base,
             const std::vector<Mechanism> &mechs,
             double cross_bytes_per_cycle,
-            const std::vector<std::uint32_t> &lengths)
+            const std::vector<std::uint32_t> &lengths,
+            const exp::EngineOptions &opts)
 {
-    std::vector<MechSeries> out;
+    std::vector<RunSpec> specs;
+    specs.reserve(mechs.size() * lengths.size());
     for (Mechanism m : mechs) {
-        MechSeries s;
-        s.mech = m;
         for (std::uint32_t len : lengths) {
             RunSpec spec;
             spec.machine = base;
             spec.mechanism = m;
             spec.crossTraffic.bytesPerCycle = cross_bytes_per_cycle;
             spec.crossTraffic.messageBytes = len;
-            s.points.push_back(
-                {static_cast<double>(len), runApp(app, spec)});
+            specs.push_back(std::move(spec));
         }
+    }
+    const auto results = runBatch(app, std::move(specs), opts);
+
+    std::vector<MechSeries> out;
+    std::size_t k = 0;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (std::uint32_t len : lengths)
+            s.points.push_back(
+                {static_cast<double>(len), results[k++]});
         out.push_back(std::move(s));
     }
     return out;
@@ -71,21 +114,33 @@ msgLenSweep(const AppFactory &app, const MachineConfig &base,
 std::vector<MechSeries>
 clockSweep(const AppFactory &app, const MachineConfig &base,
            const std::vector<Mechanism> &mechs,
-           const std::vector<double> &mhz_values)
+           const std::vector<double> &mhz_values,
+           const exp::EngineOptions &opts)
 {
-    std::vector<MechSeries> out;
+    std::vector<RunSpec> specs;
+    std::vector<double> xs; // one-way latency axis, per point
+    specs.reserve(mechs.size() * mhz_values.size());
     for (Mechanism m : mechs) {
-        MechSeries s;
-        s.mech = m;
         for (double mhz : mhz_values) {
             RunSpec spec;
             spec.machine = base;
             spec.machine.procMhz = mhz;
             spec.mechanism = m;
-            const double lat = spec.machine.onewayLatencyCycles(
-                24, static_cast<int>(spec.machine.averageHops() + 0.5));
-            s.points.push_back({lat, runApp(app, spec)});
+            xs.push_back(spec.machine.onewayLatencyCycles(
+                24,
+                static_cast<int>(spec.machine.averageHops() + 0.5)));
+            specs.push_back(std::move(spec));
         }
+    }
+    const auto results = runBatch(app, std::move(specs), opts);
+
+    std::vector<MechSeries> out;
+    std::size_t k = 0;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        for (std::size_t i = 0; i < mhz_values.size(); ++i, ++k)
+            s.points.push_back({xs[k], results[k]});
         out.push_back(std::move(s));
     }
     return out;
@@ -94,12 +149,14 @@ clockSweep(const AppFactory &app, const MachineConfig &base,
 std::vector<MechSeries>
 idealLatencySweep(const AppFactory &app, const MachineConfig &base,
                   const std::vector<Mechanism> &mechs,
-                  const std::vector<double> &latencies)
+                  const std::vector<double> &latencies,
+                  const exp::EngineOptions &opts)
 {
-    std::vector<MechSeries> out;
+    // Shared-memory mechanisms contribute one job per latency point;
+    // message passing is asynchronous and unacknowledged, so the paper
+    // plots it flat: one job at the base machine, replicated.
+    std::vector<RunSpec> specs;
     for (Mechanism m : mechs) {
-        MechSeries s;
-        s.mech = m;
         if (isSharedMemory(m)) {
             for (double lat : latencies) {
                 RunSpec spec;
@@ -107,15 +164,27 @@ idealLatencySweep(const AppFactory &app, const MachineConfig &base,
                 spec.machine.idealNet = true;
                 spec.machine.idealNetLatencyCycles = lat;
                 spec.mechanism = m;
-                s.points.push_back({lat, runApp(app, spec)});
+                specs.push_back(std::move(spec));
             }
         } else {
-            // Message passing is asynchronous and unacknowledged; the
-            // paper plots it flat at the base machine's performance.
             RunSpec spec;
             spec.machine = base;
             spec.mechanism = m;
-            RunResult r = runApp(app, spec);
+            specs.push_back(std::move(spec));
+        }
+    }
+    const auto results = runBatch(app, std::move(specs), opts);
+
+    std::vector<MechSeries> out;
+    std::size_t k = 0;
+    for (Mechanism m : mechs) {
+        MechSeries s;
+        s.mech = m;
+        if (isSharedMemory(m)) {
+            for (double lat : latencies)
+                s.points.push_back({lat, results[k++]});
+        } else {
+            const RunResult &r = results[k++];
             for (double lat : latencies)
                 s.points.push_back({lat, r});
         }

@@ -8,6 +8,12 @@
  *  - msgLenSweep:      Figure 7 (cross-traffic message-length artifact)
  *  - clockSweep:       Figure 9 (relative network latency via clock)
  *  - idealLatencySweep: Figure 10 (uniform-latency network emulation)
+ *
+ * Every sweep executes through exp::SweepEngine: pass EngineOptions
+ * with jobs > 1 to fan the independent simulations out over worker
+ * threads (results are byte-identical to the serial order), and an
+ * exp::ResultCache plus appKey to skip runs already computed. The
+ * default options reproduce the historical serial behavior exactly.
  */
 
 #ifndef ALEWIFE_CORE_EXPERIMENTS_HH
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "exp/sweep_engine.hh"
 
 namespace alewife::core {
 
@@ -37,7 +44,8 @@ struct MechSeries
 /** Run every mechanism once at the base machine (Figures 4 and 5). */
 std::vector<RunResult>
 runAllMechanisms(const AppFactory &app, const MachineConfig &base,
-                 const std::vector<Mechanism> &mechs);
+                 const std::vector<Mechanism> &mechs,
+                 const exp::EngineOptions &opts = {});
 
 /**
  * Figure 8: sweep effective bisection bandwidth by injecting cross
@@ -48,7 +56,8 @@ std::vector<MechSeries>
 bisectionSweep(const AppFactory &app, const MachineConfig &base,
                const std::vector<Mechanism> &mechs,
                const std::vector<double> &bisections,
-               std::uint32_t cross_msg_bytes = 64);
+               std::uint32_t cross_msg_bytes = 64,
+               const exp::EngineOptions &opts = {});
 
 /**
  * Figure 7: fixed cross-traffic volume, varying message length;
@@ -58,7 +67,8 @@ std::vector<MechSeries>
 msgLenSweep(const AppFactory &app, const MachineConfig &base,
             const std::vector<Mechanism> &mechs,
             double cross_bytes_per_cycle,
-            const std::vector<std::uint32_t> &lengths);
+            const std::vector<std::uint32_t> &lengths,
+            const exp::EngineOptions &opts = {});
 
 /**
  * Figure 9: vary processor clock against the fixed-wall-clock network;
@@ -67,7 +77,8 @@ msgLenSweep(const AppFactory &app, const MachineConfig &base,
 std::vector<MechSeries>
 clockSweep(const AppFactory &app, const MachineConfig &base,
            const std::vector<Mechanism> &mechs,
-           const std::vector<double> &mhz_values);
+           const std::vector<double> &mhz_values,
+           const exp::EngineOptions &opts = {});
 
 /**
  * Figure 10: ideal uniform-latency network. Shared-memory mechanisms
@@ -78,7 +89,8 @@ clockSweep(const AppFactory &app, const MachineConfig &base,
 std::vector<MechSeries>
 idealLatencySweep(const AppFactory &app, const MachineConfig &base,
                   const std::vector<Mechanism> &mechs,
-                  const std::vector<double> &latencies);
+                  const std::vector<double> &latencies,
+                  const exp::EngineOptions &opts = {});
 
 } // namespace alewife::core
 

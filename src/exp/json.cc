@@ -1,0 +1,466 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace alewife::exp {
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        ALEWIFE_FATAL("json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::Number)
+        ALEWIFE_FATAL("json: not a number");
+    return num_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    const double d = asDouble();
+    if (d < 0.0)
+        ALEWIFE_FATAL("json: negative value for unsigned field");
+    return static_cast<std::uint64_t>(d);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        ALEWIFE_FATAL("json: not a string");
+    return str_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        ALEWIFE_FATAL("json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    ALEWIFE_FATAL("json: size() on scalar");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        ALEWIFE_FATAL("json: bad array index ", i);
+    return arr_[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ != Type::Object)
+        ALEWIFE_FATAL("json: set on non-object");
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *p = find(key);
+    if (!p)
+        ALEWIFE_FATAL("json: missing key \"", key, "\"");
+    return *p;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::items() const
+{
+    if (type_ != Type::Object)
+        ALEWIFE_FATAL("json: items() on non-object");
+    return obj_;
+}
+
+namespace {
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberInto(std::string &out, double d)
+{
+    if (!std::isfinite(d))
+        ALEWIFE_FATAL("json: non-finite number");
+    // Integers print exactly; everything else round-trips via %.17g.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        numberInto(out, num_);
+        break;
+      case Type::String:
+        escapeInto(out, str_);
+        break;
+      case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escapeInto(out, obj_[i].first);
+            out += pretty ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser; positions reported on failure. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool failed() const { return !error.empty(); }
+
+    void
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        const char c = text[pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return Json();
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p) {
+                fail(std::string("bad literal (expected ") + word + ")");
+                return;
+            }
+        }
+    }
+
+    Json
+    boolean()
+    {
+        if (text[pos] == 't') {
+            literal("true");
+            return Json(true);
+        }
+        literal("false");
+        return Json(false);
+    }
+
+    Json
+    number()
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start) {
+            fail("bad number");
+            return Json();
+        }
+        pos += static_cast<std::size_t>(end - start);
+        return Json(d);
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        ++pos; // opening quote
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                const unsigned code = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(), nullptr,
+                                 16));
+                pos += 4;
+                // ASCII only; anything beyond comes out as '?'. The
+                // emitter never writes non-ASCII escapes.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        if (pos >= text.size()) {
+            fail("unterminated string");
+            return out;
+        }
+        ++pos; // closing quote
+        return out;
+    }
+
+    Json
+    array()
+    {
+        Json j = Json::array();
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return j;
+        for (;;) {
+            j.push(value());
+            if (failed())
+                return j;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return j;
+            fail("expected ',' or ']'");
+            return j;
+        }
+    }
+
+    Json
+    object()
+    {
+        Json j = Json::object();
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return j;
+        for (;;) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"') {
+                fail("expected object key");
+                return j;
+            }
+            std::string key = string();
+            if (failed())
+                return j;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return j;
+            }
+            j.set(key, value());
+            if (failed())
+                return j;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return j;
+            fail("expected ',' or '}'");
+            return j;
+        }
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p{text};
+    Json j = p.value();
+    if (!p.failed()) {
+        p.skipWs();
+        if (p.pos != text.size())
+            p.fail("trailing garbage");
+    }
+    if (p.failed()) {
+        if (error)
+            *error = p.error;
+        return Json();
+    }
+    if (error)
+        error->clear();
+    return j;
+}
+
+} // namespace alewife::exp

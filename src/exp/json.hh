@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value type for the experiment-orchestration subsystem:
+ * result emission, on-disk cache files, and schema round-tripping.
+ *
+ * Deliberately small — objects, arrays, strings, finite doubles, bools
+ * and null — because everything we persist is built from those. Object
+ * keys keep insertion order so emitted files are stable and diffable.
+ */
+
+#ifndef ALEWIFE_EXP_JSON_HH
+#define ALEWIFE_EXP_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alewife::exp {
+
+/** A JSON document node. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(std::int64_t i)
+        : type_(Type::Number), num_(static_cast<double>(i))
+    {
+    }
+    Json(std::uint64_t u)
+        : type_(Type::Number), num_(static_cast<double>(u))
+    {
+    }
+    Json(int i) : type_(Type::Number), num_(i) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** Fresh empty array / object. */
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; fatal on type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    void push(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+
+    /** Object access. set() replaces an existing key. */
+    void set(const std::string &key, Json v);
+    bool has(const std::string &key) const;
+    /** Fatal if the key is absent. */
+    const Json &at(const std::string &key) const;
+    /** nullptr if the key is absent. */
+    const Json *find(const std::string &key) const;
+
+    const std::vector<std::pair<std::string, Json>> &items() const;
+
+    /**
+     * Serialize. @p indent < 0 emits one compact line; >= 0 pretty-
+     * prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse a document. On malformed input returns null and sets
+     * @p error (when given) to a message with an offset.
+     */
+    static Json parse(const std::string &text,
+                      std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace alewife::exp
+
+#endif // ALEWIFE_EXP_JSON_HH

@@ -1,0 +1,176 @@
+#include "exp/result_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/serialize.hh"
+#include "sim/logging.hh"
+
+namespace alewife::exp {
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::key(const core::RunSpec &spec, const std::string &appKey)
+{
+    if (appKey.empty())
+        return "";
+    char cross[96];
+    std::snprintf(cross, sizeof(cross),
+                  "crossBpc=%.17g;crossMsgBytes=%u;",
+                  spec.crossTraffic.bytesPerCycle,
+                  spec.crossTraffic.messageBytes);
+    return appKey + "|" + core::mechanismShortName(spec.mechanism) + "|"
+           + spec.machine.canonicalKey() + "|" + cross;
+}
+
+std::optional<core::RunResult>
+ResultCache::lookup(const std::string &key)
+{
+    if (key.empty())
+        return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = mem_.find(key);
+        if (it != mem_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    if (!dir_.empty()) {
+        if (auto r = loadFromDisk(key)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            mem_.emplace(key, *r);
+            ++hits_;
+            return r;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const std::string &key, const core::RunResult &r)
+{
+    if (key.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_.insert_or_assign(key, r);
+    }
+    if (!dir_.empty())
+        persist(key, r);
+}
+
+std::string
+ResultCache::filePath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir_ + "/" + name;
+}
+
+std::optional<core::RunResult>
+ResultCache::loadFromDisk(const std::string &key)
+{
+    std::ifstream in(filePath(key));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::string err;
+    const Json j = Json::parse(buf.str(), &err);
+    if (!err.empty() || !j.isObject()) {
+        ALEWIFE_WARN("result cache: unreadable entry ", filePath(key),
+                     err.empty() ? "" : (": " + err));
+        return std::nullopt;
+    }
+    // Stale schema or (astronomically unlikely) hash collision: miss.
+    const Json *schema = j.find("schema");
+    const Json *version = j.find("version");
+    const Json *stored = j.find("key");
+    if (!schema || schema->asString() != "alewife-results" || !version
+        || static_cast<int>(version->asDouble()) != kResultSchemaVersion
+        || !stored || stored->asString() != key) {
+        return std::nullopt;
+    }
+    return resultFromJson(j.at("result"));
+}
+
+void
+ResultCache::persist(const std::string &key, const core::RunResult &r)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        ALEWIFE_WARN("result cache: cannot create ", dir_, ": ",
+                     ec.message());
+        return;
+    }
+    Json j = Json::object();
+    j.set("schema", "alewife-results");
+    j.set("version", kResultSchemaVersion);
+    j.set("kind", "cache-entry");
+    j.set("key", key);
+    j.set("result", resultToJson(r));
+
+    // Write-then-rename so concurrent writers of the same key (or a
+    // killed process) never leave a torn file behind.
+    static std::atomic<std::uint64_t> tmpSeq{0};
+    const std::string path = filePath(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(tmpSeq.fetch_add(1));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            ALEWIFE_WARN("result cache: cannot write ", tmp);
+            return;
+        }
+        out << j.dump(2) << '\n';
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        ALEWIFE_WARN("result cache: rename failed: ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.size();
+}
+
+} // namespace alewife::exp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Result cache for experiment runs.
+ *
+ * Simulations are fully deterministic, so a RunResult is a pure
+ * function of (machine config, mechanism, cross-traffic config,
+ * workload identity). The cache keys on exactly that tuple:
+ *
+ *   app-key "|" mechanism "|" MachineConfig::canonicalKey()
+ *           "|" cross-traffic fields
+ *
+ * The app-key names the workload (application + generation parameters,
+ * e.g. "em3d/scale=1"); callers that cannot identify their workload
+ * pass "" and caching is skipped for that job. Entries live in memory
+ * and, when a cache directory is configured, as one schema-versioned
+ * JSON file per key named by the key's FNV-1a hash. Disk entries store
+ * the full key string and are verified on load, so a hash collision
+ * degrades to a miss, never a wrong result.
+ *
+ * Thread-safe: SweepEngine workers probe and fill it concurrently.
+ */
+
+#ifndef ALEWIFE_EXP_RESULT_CACHE_HH
+#define ALEWIFE_EXP_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/runner.hh"
+
+namespace alewife::exp {
+
+/** 64-bit FNV-1a, the stable hash used for cache file names. */
+std::uint64_t fnv1a64(const std::string &s);
+
+class ResultCache
+{
+  public:
+    /** @p dir empty = memory-only; otherwise created on first store. */
+    explicit ResultCache(std::string dir = "");
+
+    /** Full cache key for a run. @p appKey empty yields "" (uncached). */
+    static std::string key(const core::RunSpec &spec,
+                           const std::string &appKey);
+
+    /** Probe memory, then disk. Counts a hit or a miss. */
+    std::optional<core::RunResult> lookup(const std::string &key);
+
+    /** Insert (and persist, when a directory is configured). */
+    void store(const std::string &key, const core::RunResult &r);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Statistics since construction. */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    /** Entries resident in memory. */
+    std::size_t size() const;
+
+  private:
+    std::string filePath(const std::string &key) const;
+    std::optional<core::RunResult> loadFromDisk(const std::string &key);
+    void persist(const std::string &key, const core::RunResult &r);
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, core::RunResult> mem_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace alewife::exp
+
+#endif // ALEWIFE_EXP_RESULT_CACHE_HH

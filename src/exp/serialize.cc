@@ -1,0 +1,228 @@
+#include "exp/serialize.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace alewife::exp {
+
+namespace {
+
+/**
+ * Counter fields serialized by name so the schema survives reordering
+ * of MachineCounters members. Adding a counter is backward compatible
+ * (absent fields decode to the natural zero); renames bump the schema.
+ */
+struct CounterField
+{
+    const char *name;
+    std::uint64_t MachineCounters::*member;
+};
+
+constexpr CounterField kCounterFields[] = {
+    {"packetsInjected", &MachineCounters::packetsInjected},
+    {"packetsDelivered", &MachineCounters::packetsDelivered},
+    {"cacheHits", &MachineCounters::cacheHits},
+    {"cacheMisses", &MachineCounters::cacheMisses},
+    {"localMisses", &MachineCounters::localMisses},
+    {"remoteMisses", &MachineCounters::remoteMisses},
+    {"invalidationsSent", &MachineCounters::invalidationsSent},
+    {"limitlessTraps", &MachineCounters::limitlessTraps},
+    {"interruptsTaken", &MachineCounters::interruptsTaken},
+    {"messagesPolled", &MachineCounters::messagesPolled},
+    {"prefetchesIssued", &MachineCounters::prefetchesIssued},
+    {"prefetchesUseful", &MachineCounters::prefetchesUseful},
+    {"prefetchesUseless", &MachineCounters::prefetchesUseless},
+    {"dmaTransfers", &MachineCounters::dmaTransfers},
+    {"lockAcquires", &MachineCounters::lockAcquires},
+    {"lockRetries", &MachineCounters::lockRetries},
+    {"barrierEpisodes", &MachineCounters::barrierEpisodes},
+    {"niQueueFullStalls", &MachineCounters::niQueueFullStalls},
+};
+
+Json
+schemaHeader()
+{
+    Json j = Json::object();
+    j.set("schema", "alewife-results");
+    j.set("version", kResultSchemaVersion);
+    return j;
+}
+
+void
+checkSchema(const Json &j)
+{
+    if (j.at("schema").asString() != "alewife-results")
+        ALEWIFE_FATAL("json: not an alewife-results document");
+    const int v = static_cast<int>(j.at("version").asDouble());
+    if (v != kResultSchemaVersion)
+        ALEWIFE_FATAL("json: schema version ", v, ", expected ",
+                      kResultSchemaVersion);
+}
+
+} // namespace
+
+Json
+resultToJson(const core::RunResult &r)
+{
+    Json j = Json::object();
+    j.set("app", r.app);
+    j.set("mechanism", core::mechanismShortName(r.mechanism));
+    j.set("runtimeCycles", r.runtimeCycles);
+
+    // Breakdown/volume in raw ticks/bytes (integers): exact round trip.
+    Json bd = Json::object();
+    for (std::size_t i = 0; i < r.breakdown.ticks.size(); ++i)
+        bd.set(timeCatName(static_cast<TimeCat>(i)),
+               r.breakdown.ticks[i]);
+    j.set("breakdownTicks", std::move(bd));
+
+    Json vol = Json::object();
+    for (std::size_t i = 0; i < r.volume.bytes.size(); ++i)
+        vol.set(volCatName(static_cast<VolCat>(i)), r.volume.bytes[i]);
+    j.set("volumeBytes", std::move(vol));
+
+    Json ctr = Json::object();
+    for (const auto &f : kCounterFields)
+        ctr.set(f.name, r.counters.*(f.member));
+    j.set("counters", std::move(ctr));
+
+    j.set("checksum", r.checksum);
+    j.set("reference", r.reference);
+    j.set("verified", r.verified);
+    j.set("simEvents", r.simEvents);
+    return j;
+}
+
+core::RunResult
+resultFromJson(const Json &j)
+{
+    core::RunResult r;
+    r.app = j.at("app").asString();
+    r.mechanism = core::mechanismFromName(j.at("mechanism").asString());
+    r.runtimeCycles = j.at("runtimeCycles").asDouble();
+
+    const Json &bd = j.at("breakdownTicks");
+    for (std::size_t i = 0; i < r.breakdown.ticks.size(); ++i)
+        r.breakdown.ticks[i] =
+            bd.at(timeCatName(static_cast<TimeCat>(i))).asU64();
+
+    const Json &vol = j.at("volumeBytes");
+    for (std::size_t i = 0; i < r.volume.bytes.size(); ++i)
+        r.volume.bytes[i] =
+            vol.at(volCatName(static_cast<VolCat>(i))).asU64();
+
+    const Json &ctr = j.at("counters");
+    for (const auto &f : kCounterFields) {
+        if (const Json *v = ctr.find(f.name))
+            r.counters.*(f.member) = v->asU64();
+    }
+
+    r.checksum = j.at("checksum").asDouble();
+    r.reference = j.at("reference").asDouble();
+    r.verified = j.at("verified").asBool();
+    r.simEvents = j.at("simEvents").asU64();
+    return r;
+}
+
+Json
+batchToJson(const std::string &app,
+            const std::vector<core::RunResult> &results)
+{
+    Json j = schemaHeader();
+    j.set("kind", "batch");
+    j.set("app", app);
+    Json arr = Json::array();
+    for (const auto &r : results)
+        arr.push(resultToJson(r));
+    j.set("results", std::move(arr));
+    return j;
+}
+
+Json
+seriesToJson(const std::string &title, const std::string &xlabel,
+             const std::vector<core::MechSeries> &series)
+{
+    Json j = schemaHeader();
+    j.set("kind", "sweep");
+    j.set("title", title);
+    j.set("xlabel", xlabel);
+    Json arr = Json::array();
+    for (const auto &s : series) {
+        Json sj = Json::object();
+        sj.set("mechanism", core::mechanismShortName(s.mech));
+        Json pts = Json::array();
+        for (const auto &p : s.points) {
+            Json pj = Json::object();
+            pj.set("x", p.x);
+            pj.set("result", resultToJson(p.result));
+            pts.push(std::move(pj));
+        }
+        sj.set("points", std::move(pts));
+        arr.push(std::move(sj));
+    }
+    j.set("series", std::move(arr));
+    return j;
+}
+
+namespace {
+
+void
+csvResultColumns(std::ostream &os, const core::RunResult &r)
+{
+    os << core::mechanismShortName(r.mechanism) << ','
+       << r.runtimeCycles;
+    for (std::size_t i = 0; i < r.breakdown.ticks.size(); ++i)
+        os << ','
+           << r.breakdown.cycles(static_cast<TimeCat>(i));
+    for (std::size_t i = 0; i < r.volume.bytes.size(); ++i)
+        os << ',' << r.volume.bytes[i];
+    os << ',' << r.simEvents << ',' << (r.verified ? 1 : 0);
+}
+
+void
+csvResultHeader(std::ostream &os)
+{
+    os << "mechanism,runtimeCycles";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TimeCat::NumCats); ++i)
+        os << ",cycles:" << timeCatName(static_cast<TimeCat>(i));
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(VolCat::NumCats); ++i)
+        os << ",bytes:" << volCatName(static_cast<VolCat>(i));
+    os << ",simEvents,verified";
+}
+
+} // namespace
+
+void
+writeBatchCsv(std::ostream &os,
+              const std::vector<core::RunResult> &results)
+{
+    os << "app,";
+    csvResultHeader(os);
+    os << '\n';
+    for (const auto &r : results) {
+        os << r.app << ',';
+        csvResultColumns(os, r);
+        os << '\n';
+    }
+}
+
+void
+writeSeriesCsv(std::ostream &os, const std::string &xlabel,
+               const std::vector<core::MechSeries> &series)
+{
+    os << "app," << (xlabel.empty() ? "x" : xlabel) << ',';
+    csvResultHeader(os);
+    os << '\n';
+    for (const auto &s : series) {
+        for (const auto &p : s.points) {
+            os << p.result.app << ',' << p.x << ',';
+            csvResultColumns(os, p.result);
+            os << '\n';
+        }
+    }
+}
+
+} // namespace alewife::exp

@@ -1,0 +1,120 @@
+#include "exp/sweep_engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "exp/result_cache.hh"
+#include "sim/logging.hh"
+
+namespace alewife::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(EngineOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.jobs < 1)
+        opts_.jobs = 1;
+}
+
+std::vector<core::RunResult>
+SweepEngine::run(const std::vector<Job> &jobs)
+{
+    const auto start = Clock::now();
+    const int n = static_cast<int>(jobs.size());
+
+    progress_ = Progress{};
+    progress_.queued = n;
+
+    std::vector<core::RunResult> results(jobs.size());
+
+    // Results already in the cache never reach a worker; resolving
+    // them up front keeps the pool busy only with real simulations.
+    std::vector<int> todo;
+    todo.reserve(jobs.size());
+    for (int i = 0; i < n; ++i) {
+        const std::string key =
+            opts_.cache ? ResultCache::key(jobs[i].spec, jobs[i].appKey)
+                        : std::string();
+        if (!key.empty()) {
+            if (auto hit = opts_.cache->lookup(key)) {
+                results[i] = std::move(*hit);
+                ++progress_.cacheHits;
+                ++progress_.done;
+                continue;
+            }
+        }
+        todo.push_back(i);
+    }
+
+    std::mutex mu; // guards progress_ and the hook
+    auto finishJob = [&](std::uint64_t simEvents) {
+        std::lock_guard<std::mutex> lock(mu);
+        --progress_.running;
+        ++progress_.done;
+        progress_.simEvents += simEvents;
+        progress_.elapsedSec = secondsSince(start);
+        if (opts_.onProgress)
+            opts_.onProgress(progress_);
+    };
+
+    auto runOne = [&](int i) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++progress_.running;
+        }
+        const Job &job = jobs[i];
+        results[i] = core::runApp(job.app, job.spec, opts_.verifyFatal);
+        if (opts_.cache) {
+            const std::string key =
+                ResultCache::key(job.spec, job.appKey);
+            if (!key.empty())
+                opts_.cache->store(key, results[i]);
+        }
+        finishJob(results[i].simEvents);
+    };
+
+    const int workers =
+        std::min<int>(opts_.jobs, static_cast<int>(todo.size()));
+    if (workers <= 1) {
+        for (int i : todo)
+            runOne(i);
+    } else {
+        // Index dispatch via one shared atomic: workers pull the next
+        // unstarted job, results land in their submission slot, so
+        // completion order never leaks into the output.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t k = next.fetch_add(1);
+                if (k >= todo.size())
+                    return;
+                runOne(todo[k]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    progress_.elapsedSec = secondsSince(start);
+    if (opts_.onProgress && todo.empty())
+        opts_.onProgress(progress_);
+    return results;
+}
+
+} // namespace alewife::exp

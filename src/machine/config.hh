@@ -220,6 +220,16 @@ struct MachineConfig
 
     /** Abort with a message if the configuration is inconsistent. */
     void validate() const;
+
+    /**
+     * Canonical textual form of every cost knob, for stable hashing
+     * (the experiment result cache keys on it). Field order is fixed;
+     * doubles are printed with full round-trip precision, so two
+     * configs share a key iff every parameter is bit-identical. The
+     * display name is deliberately excluded — it does not affect the
+     * simulation.
+     */
+    std::string canonicalKey() const;
 };
 
 } // namespace alewife

@@ -65,7 +65,9 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute time @p when.
-     * @pre when >= now()
+     * @pre when >= now() — enforced: scheduling in the past is a
+     *      simulator bug and panics (when == now() is allowed; the
+     *      event runs after already-queued same-tick events).
      */
     EventHandle schedule(Tick when, std::function<void()> fn);
 

@@ -5,9 +5,19 @@
 
 namespace alewife {
 
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Grab the lock so the message lands whole even if other threads
+    // are emitting; abort() while holding it is fine — nothing after.
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -15,6 +25,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }
@@ -22,6 +33,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 

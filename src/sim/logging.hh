@@ -10,10 +10,19 @@
 #ifndef ALEWIFE_SIM_LOGGING_HH
 #define ALEWIFE_SIM_LOGGING_HH
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
 namespace alewife {
+
+/**
+ * Process-wide mutex serializing diagnostic output (warn/trace lines).
+ * Parallel sweeps run one simulation per worker thread; taking this
+ * lock around each emitted line keeps interleaved output readable and
+ * the emit paths race-free under TSan.
+ */
+std::mutex &logMutex();
 
 /** Abort with a message; use for internal simulator bugs. */
 [[noreturn]] void panicImpl(const char *file, int line,

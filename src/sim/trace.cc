@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "sim/logging.hh"
 
 namespace alewife {
 
@@ -19,44 +22,17 @@ traceCatName(TraceCat c)
     }
 }
 
-Trace::State &
-Trace::state()
-{
-    static State s;
-    if (!s.envRead) {
-        s.envRead = true;
-        initFromEnv();
-    }
-    return s;
-}
+namespace {
 
+/** Parse an ALEWIFE_TRACE-style spec into the category flags. */
 void
-Trace::enable(TraceCat c, bool on)
+applySpec(const std::string &spec,
+          std::array<std::atomic<bool>,
+                     static_cast<std::size_t>(TraceCat::NumCats)> &on)
 {
-    state().on[static_cast<std::size_t>(c)] = on;
-}
-
-void
-Trace::enableAll(bool on)
-{
-    for (std::size_t i = 0;
-         i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
-        state().on[i] = on;
-    }
-}
-
-void
-Trace::initFromEnv()
-{
-    // Mark as read *first*: state() calls us during construction.
-    State &s = state();
-    const char *env = std::getenv("ALEWIFE_TRACE");
-    if (!env)
-        return;
-    const std::string spec(env);
     if (spec == "all") {
-        for (auto &b : s.on)
-            b = true;
+        for (auto &b : on)
+            b.store(true, std::memory_order_relaxed);
         return;
     }
     std::size_t pos = 0;
@@ -68,7 +44,7 @@ Trace::initFromEnv()
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
             if (tok == traceCatName(static_cast<TraceCat>(i)))
-                s.on[i] = true;
+                on[i].store(true, std::memory_order_relaxed);
         }
         if (comma == std::string::npos)
             break;
@@ -76,10 +52,54 @@ Trace::initFromEnv()
     }
 }
 
+} // namespace
+
+Trace::State::State()
+{
+    // Runs exactly once under the magic-static guard of state(), so
+    // concurrent first uses from worker threads cannot race the
+    // environment parse.
+    const char *env = std::getenv("ALEWIFE_TRACE");
+    if (env)
+        applySpec(env, on);
+}
+
+Trace::State &
+Trace::state()
+{
+    static State s;
+    return s;
+}
+
+void
+Trace::enable(TraceCat c, bool on)
+{
+    state().on[static_cast<std::size_t>(c)].store(
+        on, std::memory_order_relaxed);
+}
+
+void
+Trace::enableAll(bool on)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
+        state().on[i].store(on, std::memory_order_relaxed);
+    }
+}
+
+void
+Trace::initFromEnv()
+{
+    const char *env = std::getenv("ALEWIFE_TRACE");
+    if (env)
+        applySpec(env, state().on);
+}
+
 void
 Trace::emit(TraceCat c, Tick now, const std::string &msg)
 {
-    ++state().lines;
+    state().lines.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "%12.2f [%s] %s\n", ticksToCycles(now),
                  traceCatName(c), msg.c_str());
 }
@@ -87,7 +107,7 @@ Trace::emit(TraceCat c, Tick now, const std::string &msg)
 std::uint64_t
 Trace::linesEmitted()
 {
-    return state().lines;
+    return state().lines.load(std::memory_order_relaxed);
 }
 
 } // namespace alewife

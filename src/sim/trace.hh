@@ -15,6 +15,7 @@
 #define ALEWIFE_SIM_TRACE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -39,6 +40,12 @@ const char *traceCatName(TraceCat c);
 
 /**
  * Global trace switchboard.
+ *
+ * Thread-safe: parallel sweeps simulate on several threads at once, so
+ * the category flags and line counter are atomics (relaxed — they are
+ * independent flags, not synchronization), initialization happens once
+ * via a magic static, and each emitted line is serialized through
+ * logMutex().
  */
 class Trace
 {
@@ -47,7 +54,9 @@ class Trace
     static bool
     enabled(TraceCat c)
     {
-        return state().on[static_cast<std::size_t>(c)];
+        return state()
+            .on[static_cast<std::size_t>(c)]
+            .load(std::memory_order_relaxed);
     }
 
     /** Enable/disable a category at runtime (tests). */
@@ -56,7 +65,7 @@ class Trace
     /** Enable every category. */
     static void enableAll(bool on = true);
 
-    /** Re-read ALEWIFE_TRACE (called once automatically). */
+    /** Re-read ALEWIFE_TRACE (also applied once at first use). */
     static void initFromEnv();
 
     /** Emit one line; use the ALEWIFE_TRACE macro instead. */
@@ -68,10 +77,13 @@ class Trace
   private:
     struct State
     {
-        std::array<bool, static_cast<std::size_t>(TraceCat::NumCats)>
+        /** Constructed once (thread-safe); parses ALEWIFE_TRACE. */
+        State();
+
+        std::array<std::atomic<bool>,
+                   static_cast<std::size_t>(TraceCat::NumCats)>
             on{};
-        std::uint64_t lines = 0;
-        bool envRead = false;
+        std::atomic<std::uint64_t> lines{0};
     };
 
     static State &state();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON value type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/json.hh"
+
+namespace alewife::exp {
+namespace {
+
+TEST(Json, ScalarsDumpCompactly)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json j = Json::object();
+    j.set("b", 1);
+    j.set("a", 2);
+    j.set("b", 3); // replaces, does not reorder
+    EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    const std::string nasty = "quote\" back\\slash\nnew\ttab";
+    Json j = Json::object();
+    j.set("s", nasty);
+    std::string err;
+    const Json back = Json::parse(j.dump(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("s").asString(), nasty);
+}
+
+TEST(Json, DoublesRoundTripBitExactly)
+{
+    const double values[] = {0.1,     1.0 / 3.0,       6.02214076e23,
+                             -1e-300, 123456789.25,    0.0,
+                             42.0,    9007199254740991.0};
+    for (double v : values) {
+        Json j = Json::array();
+        j.push(v);
+        std::string err;
+        const Json back = Json::parse(j.dump(), &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back.at(std::size_t{0}).asDouble(), v);
+    }
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    std::string err;
+    const Json j = Json::parse(
+        R"({"a": [1, 2, {"b": true}], "c": null, "d": "x"})", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.at("a").size(), 3u);
+    EXPECT_TRUE(j.at("a").at(2).at("b").asBool());
+    EXPECT_TRUE(j.at("c").isNull());
+    EXPECT_EQ(j.at("d").asString(), "x");
+    EXPECT_FALSE(j.has("missing"));
+    EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, PrettyPrintReparses)
+{
+    Json j = Json::object();
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    j.set("list", std::move(arr));
+    std::string err;
+    const Json back = Json::parse(j.dump(2), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("list").at(1).asString(), "two");
+}
+
+TEST(Json, MalformedInputReportsError)
+{
+    const char *bad[] = {"{",        "[1, 2",      "{\"a\" 1}",
+                         "tru",      "\"open",     "[1,]",
+                         "{} junk",  "",           "{\"a\":1,}"};
+    for (const char *text : bad) {
+        std::string err;
+        const Json j = Json::parse(text, &err);
+        EXPECT_FALSE(err.empty()) << "accepted: " << text;
+        EXPECT_TRUE(j.isNull());
+    }
+}
+
+} // namespace
+} // namespace alewife::exp
