@@ -1,0 +1,228 @@
+/**
+ * @file
+ * CHECK_FUZZ — schedule-perturbation fuzz harness for the invariant
+ * auditor (src/check/). Runs the stress workload (optionally the paper
+ * apps too) across a seed x perturbation-mode matrix with a collecting
+ * InvariantAuditor attached, and reports the first violated invariant
+ * with the exact seed/mode needed to replay it.
+ *
+ * Default corpus: 16 seeds x 4 modes (none / tiebreak / jitter / both)
+ * = 64 audited runs. Exit status is nonzero if any run violated an
+ * invariant or failed numeric verification.
+ *
+ * Flags:
+ *   --seeds N        number of seeds (default 16)
+ *   --seed-base S    first seed (default 1)
+ *   --modes LIST     comma list from {none,tiebreak,jitter,both}
+ *   --apps LIST      comma list from {stress,stream}; default stress
+ *   --ops N          stress script length per node (default 120)
+ *   --inject-bug     demo: skip one invalidate and show the auditor
+ *                    catching it (exits zero when it IS caught)
+ *
+ * Reproducing a violation: rerun with --seed-base <seed> --seeds 1
+ * --modes <mode>; runs are single-threaded and bit-deterministic per
+ * (seed, mode), so the failure replays exactly.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/stream.hh"
+#include "apps/stress.hh"
+#include "check/auditor.hh"
+#include "core/runner.hh"
+
+namespace {
+
+using namespace alewife;
+
+struct Mode
+{
+    std::string name;
+    bool tieBreak = false;
+    double jitter = 0.0;
+};
+
+Mode
+modeByName(const std::string &name)
+{
+    if (name == "none")
+        return {"none", false, 0.0};
+    if (name == "tiebreak")
+        return {"tiebreak", true, 0.0};
+    if (name == "jitter")
+        return {"jitter", false, 0.25};
+    if (name == "both")
+        return {"both", true, 0.25};
+    std::cerr << "unknown mode: " << name << '\n';
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+core::AppFactory
+makeApp(const std::string &name, std::uint64_t seed, int ops)
+{
+    if (name == "stress") {
+        apps::Stress::Params p;
+        p.counters = 8;
+        p.opsPerNode = ops;
+        p.nprocs = 32; // default MachineConfig mesh
+        p.seed = seed;
+        return apps::Stress::factory(p);
+    }
+    if (name == "stream") {
+        apps::Stream::Params p;
+        p.valuesPerIter = 32;
+        p.iters = 4;
+        p.seed = seed;
+        return apps::Stream::factory(p);
+    }
+    std::cerr << "unknown app: " << name << '\n';
+    std::exit(2);
+}
+
+/** Deliberately break the protocol and prove the auditor notices. */
+int
+injectBugDemo(std::uint64_t seed)
+{
+    std::cout << "Injecting bug: one cache skips an invalidate but "
+                 "still acks it (seed " << seed << ")\n";
+    apps::Stress::Params p;
+    p.counters = 8;
+    p.opsPerNode = 120;
+    p.nprocs = 32;
+    p.seed = seed;
+    apps::Stress app(p);
+
+    MachineConfig cfg;
+    Machine m(cfg, proc::SyncStyle::SharedMemory,
+              msg::RecvMode::Polling);
+    check::InvariantAuditor auditor(
+        {.abortOnViolation = false, .maxViolations = 8});
+    auditor.attach(m);
+    for (int i = 0; i < m.nodes(); ++i) {
+        coh::CoherenceController::DebugFaults f;
+        f.skipInvalidate = true;
+        m.cohAt(i).debugInjectFaults(f);
+    }
+    app.setup(m, core::Mechanism::SharedMemory);
+    m.run([&app](proc::Ctx &ctx) { return app.program(ctx); });
+    auditor.finalize();
+
+    if (auditor.clean()) {
+        std::cout << "FAIL: injected bug was NOT caught\n";
+        return 1;
+    }
+    const auto &v = auditor.violations().front();
+    std::cout << "caught: " << v.invariant << " at tick " << v.tick
+              << "\n  " << v.detail
+              << "\n  replay: ./build/bench/check_fuzz --inject-bug"
+              << " --seed-base " << seed << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int seeds = 16;
+    std::uint64_t seedBase = 1;
+    int ops = 120;
+    std::vector<std::string> modeNames = {"none", "tiebreak", "jitter",
+                                          "both"};
+    std::vector<std::string> appNames = {"stress"};
+    bool injectBug = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds")
+            seeds = std::stoi(next());
+        else if (arg == "--seed-base")
+            seedBase = std::stoull(next());
+        else if (arg == "--ops")
+            ops = std::stoi(next());
+        else if (arg == "--modes")
+            modeNames = splitList(next());
+        else if (arg == "--apps")
+            appNames = splitList(next());
+        else if (arg == "--inject-bug")
+            injectBug = true;
+        else {
+            std::cerr << "usage: check_fuzz [--seeds N] [--seed-base S]"
+                         " [--ops N] [--modes a,b] [--apps a,b]"
+                         " [--inject-bug]\n";
+            return 2;
+        }
+    }
+
+    if (injectBug)
+        return injectBugDemo(seedBase);
+
+    int runs = 0, bad = 0;
+    for (const std::string &appName : appNames) {
+        for (int s = 0; s < seeds; ++s) {
+            const std::uint64_t seed = seedBase + s;
+            for (const std::string &modeName : modeNames) {
+                const Mode mode = modeByName(modeName);
+                core::RunSpec spec;
+                spec.perturb.seed = seed;
+                spec.perturb.tieBreak = mode.tieBreak;
+                spec.perturb.hopJitterFrac = mode.jitter;
+
+                check::InvariantAuditor auditor(
+                    {.abortOnViolation = false, .maxViolations = 4});
+                const auto r =
+                    core::runApp(makeApp(appName, seed, ops), spec,
+                                 /*verify_fatal=*/false, &auditor);
+                ++runs;
+
+                const bool ok = r.verified && auditor.clean();
+                if (!ok) {
+                    ++bad;
+                    std::cout << "VIOLATION app=" << appName
+                              << " seed=" << seed
+                              << " mode=" << modeName << '\n';
+                    if (!r.verified) {
+                        std::cout << "  checksum " << r.checksum
+                                  << " != reference " << r.reference
+                                  << '\n';
+                    }
+                    for (const auto &v : auditor.violations()) {
+                        std::cout << "  " << v.invariant << " at tick "
+                                  << v.tick << ": " << v.detail << '\n';
+                    }
+                    std::cout << "  replay: ./build/bench/check_fuzz"
+                              << " --apps " << appName << " --seeds 1"
+                              << " --seed-base " << seed << " --modes "
+                              << modeName << " --ops " << ops << '\n';
+                }
+            }
+        }
+    }
+
+    std::cout << "check_fuzz: " << runs << " audited runs, " << bad
+              << " violations\n";
+    return bad == 0 ? 0 : 1;
+}

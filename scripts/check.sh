@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full local CI sweep:
+#   1. tier-1: default build + complete ctest suite
+#   2. ASan/UBSan build + complete ctest suite
+#   3. TSan build + the parallel-engine suites (exp_test)
+#   4. short check_fuzz corpus (schedule-perturbation + auditor)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer builds (tier-1 + fuzz corpus only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+if [[ "$FAST" -eq 0 ]]; then
+    step "ASan/UBSan: build + ctest"
+    cmake -B build-asan -S . -DALEWIFE_SANITIZE=address,undefined \
+        >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+
+    step "TSan: build + parallel-engine suites"
+    cmake -B build-tsan -S . -DALEWIFE_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+    ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
+        -R "SweepEngine|Determinism"
+fi
+
+step "check_fuzz: short corpus"
+./build/bench/check_fuzz --seeds 4 --ops 100
+./build/bench/check_fuzz --inject-bug
+
+step "all checks passed"

@@ -1,0 +1,175 @@
+#include "apps/stress.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace alewife::apps {
+
+using core::Mechanism;
+
+Stress::Stress(Params p) : p_(std::move(p))
+{
+    if (p_.counters < 1)
+        p_.counters = 1;
+    if (p_.opsPerNode < 1)
+        p_.opsPerNode = 1;
+
+    // Per-node scripts, seeded independently so the op mix differs
+    // across nodes but is identical across runs of the same seed.
+    script_.resize(static_cast<std::size_t>(p_.nprocs));
+    for (int n = 0; n < p_.nprocs; ++n) {
+        Rng rng(p_.seed * 0x9e3779b97f4a7c15ULL
+                + static_cast<std::uint64_t>(n) + 1);
+        auto &ops = script_[static_cast<std::size_t>(n)];
+        ops.reserve(static_cast<std::size_t>(p_.opsPerNode));
+        for (int i = 0; i < p_.opsPerNode; ++i) {
+            Op op{};
+            const std::uint64_t roll = rng.nextBounded(100);
+            if (roll < 25) {
+                op.kind = Op::Kind::Rmw;
+                op.idx = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(p_.counters)));
+                op.delta = 1 + rng.nextBounded(7);
+            } else if (roll < 45) {
+                op.kind = Op::Kind::WriteSlot;
+                op.idx = n;
+                op.delta = (static_cast<std::uint64_t>(n) << 32)
+                           | static_cast<std::uint64_t>(i);
+            } else if (roll < 70) {
+                op.kind = Op::Kind::ReadSlot;
+                op.idx = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(p_.nprocs)));
+            } else if (roll < 80) {
+                op.kind = Op::Kind::ReadCounter;
+                op.idx = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(p_.counters)));
+            } else if (roll < 90) {
+                op.kind = Op::Kind::Prefetch;
+                op.idx = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(p_.nprocs)));
+            } else {
+                op.kind = Op::Kind::Compute;
+                op.delta = 1 + rng.nextBounded(24);
+            }
+            ops.push_back(op);
+        }
+    }
+
+    // Replay reference: counters accumulate every RMW delta; each slot
+    // holds its owner's last tagged write. Both are order-independent.
+    std::vector<std::uint64_t> counters(
+        static_cast<std::size_t>(p_.counters), 0);
+    std::vector<std::uint64_t> slots(
+        static_cast<std::size_t>(p_.nprocs), 0);
+    for (int n = 0; n < p_.nprocs; ++n) {
+        for (const Op &op : script_[static_cast<std::size_t>(n)]) {
+            if (op.kind == Op::Kind::Rmw)
+                counters[static_cast<std::size_t>(op.idx)] += op.delta;
+            else if (op.kind == Op::Kind::WriteSlot)
+                slots[static_cast<std::size_t>(op.idx)] = op.delta;
+        }
+    }
+    reference_ = 0.0;
+    for (std::uint64_t v : counters)
+        reference_ += static_cast<double>(v);
+    for (std::uint64_t v : slots)
+        reference_ += static_cast<double>(v);
+}
+
+core::AppFactory
+Stress::factory(Params p)
+{
+    return [p]() { return std::make_unique<Stress>(p); };
+}
+
+Addr
+Stress::counterAddr(int c) const
+{
+    return countersBase_ + static_cast<Addr>(c) * lineBytes_;
+}
+
+Addr
+Stress::slotAddr(int n) const
+{
+    return slotsBase_ + static_cast<Addr>(n) * lineBytes_;
+}
+
+void
+Stress::setup(Machine &m, Mechanism mech)
+{
+    if (!core::isSharedMemory(mech))
+        ALEWIFE_PANIC("stress is a shared-memory-only workload");
+    if (m.config().nodes() != p_.nprocs) {
+        ALEWIFE_PANIC("stress: machine has ", m.config().nodes(),
+                      " nodes but Params::nprocs is ", p_.nprocs);
+    }
+    mech_ = mech;
+    machine_ = &m;
+    lineBytes_ = m.config().lineBytes;
+
+    // One word per line so every op is a distinct coherence target.
+    const std::uint64_t wpl = m.config().wordsPerLine();
+    countersBase_ =
+        m.mem().alloc(static_cast<std::uint64_t>(p_.counters) * wpl,
+                      mem::HomePolicy::Interleaved, 0, "stress.counters");
+    slotsBase_ =
+        m.mem().alloc(static_cast<std::uint64_t>(p_.nprocs) * wpl,
+                      mem::HomePolicy::Interleaved, 0, "stress.slots");
+}
+
+sim::Thread
+Stress::program(proc::Ctx &ctx)
+{
+    const int self = ctx.self();
+    const bool pf = mech_ == Mechanism::SharedMemoryPrefetch;
+    const auto &ops = script_[static_cast<std::size_t>(self)];
+    const std::size_t half = ops.size() / 2;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        // A mid-script barrier gives the fuzzer a sync phase to perturb.
+        if (i == half)
+            co_await ctx.barrier();
+        const Op &op = ops[i];
+        switch (op.kind) {
+          case Op::Kind::Rmw:
+            co_await ctx.rmw(counterAddr(op.idx),
+                             [d = op.delta](std::uint64_t v) {
+                                 return v + d;
+                             });
+            break;
+          case Op::Kind::WriteSlot:
+            co_await ctx.write(slotAddr(self), op.delta);
+            break;
+          case Op::Kind::ReadSlot:
+            co_await ctx.read(slotAddr(op.idx));
+            break;
+          case Op::Kind::ReadCounter:
+            co_await ctx.read(counterAddr(op.idx));
+            break;
+          case Op::Kind::Prefetch:
+            if (pf)
+                ctx.prefetchRead(slotAddr(op.idx));
+            else
+                co_await ctx.compute(1.0);
+            break;
+          case Op::Kind::Compute:
+            co_await ctx.compute(static_cast<double>(op.delta));
+            break;
+        }
+    }
+    co_await ctx.barrier();
+    co_return;
+}
+
+double
+Stress::checksum() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < p_.counters; ++c)
+        sum += static_cast<double>(machine_->debugWord(counterAddr(c)));
+    for (int n = 0; n < p_.nprocs; ++n)
+        sum += static_cast<double>(machine_->debugWord(slotAddr(n)));
+    return sum;
+}
+
+} // namespace alewife::apps

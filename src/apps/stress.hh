@@ -1,0 +1,88 @@
+/**
+ * @file
+ * STRESS: a protocol-stress workload for the invariant auditor and the
+ * schedule-perturbation fuzzer (src/check/).
+ *
+ * Every node executes a deterministic per-node script of shared-memory
+ * operations generated from a seed: atomic read-modify-write increments
+ * of a small set of hot counters (heavy invalidation + recall traffic),
+ * tagged writes to the node's own slot (write-serialization witness
+ * material), reads of other nodes' slots (sharing churn), prefetches,
+ * and compute delays. Each slot/counter occupies its own cache line so
+ * every operation is real coherence traffic.
+ *
+ * The final memory image is schedule-independent: counters are updated
+ * only through atomic RMW (so the final value is the sum of all deltas
+ * regardless of interleaving) and each slot is written only by its
+ * owner (so the final value is the owner's last tagged write). The
+ * reference is therefore computed by a trivial replay of the scripts,
+ * making the workload self-verifying under any legal schedule — exactly
+ * what perturbation fuzzing needs.
+ */
+
+#ifndef ALEWIFE_APPS_STRESS_HH
+#define ALEWIFE_APPS_STRESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app.hh"
+
+namespace alewife::apps {
+
+/** Seeded shared-memory contention workload (SM / SM+PF only). */
+class Stress : public core::App
+{
+  public:
+    struct Params
+    {
+        int counters = 8;     ///< hot RMW counters (one line each)
+        int opsPerNode = 140; ///< script length per node
+        int nprocs = 16;
+        std::uint64_t seed = 1;
+    };
+
+    explicit Stress(Params p);
+
+    std::string name() const override { return "stress"; }
+    void setup(Machine &m, core::Mechanism mech) override;
+    sim::Thread program(proc::Ctx &ctx) override;
+    double checksum() const override;
+    double reference() const override { return reference_; }
+
+    static core::AppFactory factory(Params p);
+
+  private:
+    /** One scripted operation. */
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            Rmw,         ///< counter[idx] += delta (atomic)
+            WriteSlot,   ///< slot[self] = tag
+            ReadSlot,    ///< read slot[idx], discard
+            ReadCounter, ///< read counter[idx], discard
+            Prefetch,    ///< prefetch slot[idx] (SM+PF; else compute)
+            Compute,     ///< spin for delta cycles
+        };
+        Kind kind;
+        int idx = 0;
+        std::uint64_t delta = 0; ///< RMW delta / tag / compute cycles
+    };
+
+    Addr counterAddr(int c) const;
+    Addr slotAddr(int n) const;
+
+    Params p_;
+    double reference_ = 0.0;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+    std::vector<std::vector<Op>> script_; ///< per-node op list
+    Addr countersBase_ = 0;
+    Addr slotsBase_ = 0;
+    std::uint32_t lineBytes_ = 0;
+};
+
+} // namespace alewife::apps
+
+#endif // ALEWIFE_APPS_STRESS_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Observation points for the runtime invariant auditor.
+ *
+ * Hooks is an abstract observer that low-level components (event queue,
+ * mesh, cache, prefetch buffer, coherence controller) notify about
+ * every state transition relevant to cross-layer invariants. Each
+ * component stores a nullable Hooks pointer; with no auditor attached
+ * the only cost is a pointer null-check per transition, and nothing in
+ * this header drags protocol types into the low-level components — all
+ * parameters are forward-declared and passed by reference.
+ *
+ * Every callback has an empty default body so future observation points
+ * never break existing observers. See check::InvariantAuditor for the
+ * one real implementation.
+ */
+
+#ifndef ALEWIFE_CHECK_HOOKS_HH
+#define ALEWIFE_CHECK_HOOKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife::mem {
+enum class LineState : std::uint8_t;
+}
+namespace alewife::coh {
+struct ProtoMsg;
+struct DirTxn;
+}
+namespace alewife::net {
+struct Packet;
+}
+
+namespace alewife::check {
+
+/**
+ * Observer interface over every auditable transition of a Machine.
+ */
+class Hooks
+{
+  public:
+    virtual ~Hooks() = default;
+
+    // --- sim::EventQueue ---
+
+    /** An event finished executing; @p now is its (monotonic) tick. */
+    virtual void onEventExecuted(Tick now) { (void)now; }
+
+    // --- net::Mesh ---
+
+    /** A packet entered the network (volume already charged). */
+    virtual void onPacketInjected(const net::Packet &pkt) { (void)pkt; }
+
+    /** A packet was accepted by its destination sink. */
+    virtual void onPacketDelivered(const net::Packet &pkt) { (void)pkt; }
+
+    // --- mem::Cache (per node) ---
+
+    virtual void
+    onCacheFill(NodeId node, Addr line, mem::LineState st,
+                const std::vector<std::uint64_t> &words)
+    {
+        (void)node, (void)line, (void)st, (void)words;
+    }
+
+    /** A valid line was displaced by a fill of a different line. */
+    virtual void
+    onCacheEvict(NodeId node, Addr line, bool dirty)
+    {
+        (void)node, (void)line, (void)dirty;
+    }
+
+    virtual void
+    onCacheInvalidate(NodeId node, Addr line, bool wasModified)
+    {
+        (void)node, (void)line, (void)wasModified;
+    }
+
+    virtual void onCacheDowngrade(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    virtual void onCacheUpgrade(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    virtual void onCacheRead(NodeId node, Addr a, std::uint64_t v)
+    {
+        (void)node, (void)a, (void)v;
+    }
+
+    virtual void onCacheWrite(NodeId node, Addr a, std::uint64_t v)
+    {
+        (void)node, (void)a, (void)v;
+    }
+
+    // --- proc::PrefetchBuffer (per node) ---
+
+    virtual void
+    onPfbInstall(NodeId node, Addr line, mem::LineState st,
+                 const std::vector<std::uint64_t> &words)
+    {
+        (void)node, (void)line, (void)st, (void)words;
+    }
+
+    /** Entry removed for any reason (take/invalidate/evict/displace). */
+    virtual void onPfbRemove(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    virtual void onPfbDowngrade(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    // --- coh::CoherenceController (per node) ---
+
+    /** A protocol message left @p src for @p dst (possibly src==dst). */
+    virtual void
+    onProtoSend(NodeId src, NodeId dst, const coh::ProtoMsg &msg)
+    {
+        (void)src, (void)dst, (void)msg;
+    }
+
+    /** A protocol message's processing began at node @p at. */
+    virtual void onProtoProcess(NodeId at, const coh::ProtoMsg &msg)
+    {
+        (void)at, (void)msg;
+    }
+
+    /**
+     * The home granted data to a local requester without a ProtoMsg
+     * (requester == home short-circuit); pairs with a later onFill.
+     */
+    virtual void onLocalGrant(NodeId node, Addr line, bool exclusive)
+    {
+        (void)node, (void)line, (void)exclusive;
+    }
+
+    /** A data grant (message or local) was consumed by the MSHR. */
+    virtual void onFill(NodeId node, Addr line, bool exclusive)
+    {
+        (void)node, (void)line, (void)exclusive;
+    }
+
+    virtual void onMshrOpen(NodeId node, Addr line, bool exclusive)
+    {
+        (void)node, (void)line, (void)exclusive;
+    }
+
+    virtual void onMshrClose(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    /** A home transaction opened on @p line (txn state at open time). */
+    virtual void
+    onTxnOpen(NodeId home, Addr line, const coh::DirTxn &txn)
+    {
+        (void)home, (void)line, (void)txn;
+    }
+
+    virtual void onTxnClose(NodeId home, Addr line)
+    {
+        (void)home, (void)line;
+    }
+
+    /** A recall/forward overtook our granted data and was stashed. */
+    virtual void onRecallStashed(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+
+    /** A stashed recall/forward was honoured after the fill. */
+    virtual void onRecallHonored(NodeId node, Addr line)
+    {
+        (void)node, (void)line;
+    }
+};
+
+} // namespace alewife::check
+
+#endif // ALEWIFE_CHECK_HOOKS_HH

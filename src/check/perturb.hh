@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Schedule-perturbation configuration.
+ *
+ * Simulations are bit-deterministic: events at the same tick run in
+ * insertion order and network hops cost exactly MachineConfig::hopNs.
+ * That determinism is great for reproducibility but means one schedule
+ * is ever exercised. PerturbConfig selects controlled deviations — a
+ * seeded random tie-break among same-tick events and/or a bounded
+ * random jitter on per-hop network latency — used by the invariant
+ * fuzzing harness (bench/check_fuzz) to explore protocol interleavings
+ * the default schedule never produces.
+ *
+ * Both knobs default to off; a default-constructed PerturbConfig leaves
+ * every existing run bit-identical. Perturbed runs are still
+ * deterministic for a fixed seed, so any violation is replayable.
+ */
+
+#ifndef ALEWIFE_CHECK_PERTURB_HH
+#define ALEWIFE_CHECK_PERTURB_HH
+
+#include <cstdint>
+
+namespace alewife::check {
+
+/** Schedule-perturbation knobs (all off by default). */
+struct PerturbConfig
+{
+    /** Seed for every perturbation RNG; same seed = same schedule. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Randomize the order of same-tick events that were scheduled for
+     * the future. Events scheduled *at* the current tick keep their
+     * documented run-after-already-queued FIFO order, so the event
+     * queue's scheduling contract is preserved.
+     */
+    bool tieBreak = false;
+
+    /**
+     * Multiplicative jitter on the mesh per-hop latency: each hop's
+     * cost is scaled by a uniform factor in [1-f, 1+f]. Link occupancy
+     * (freeAt) still serializes packets, so per-route FIFO delivery
+     * order is preserved. 0 disables.
+     */
+    double hopJitterFrac = 0.0;
+
+    bool enabled() const { return tieBreak || hopJitterFrac > 0.0; }
+};
+
+} // namespace alewife::check
+
+#endif // ALEWIFE_CHECK_PERTURB_HH

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <utility>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -139,6 +140,8 @@ void
 CoherenceController::sendProto(NodeId dst, ProtoMsg msg, Tick when)
 {
     msg.src = self_;
+    if (hooks_)
+        hooks_->onProtoSend(self_, dst, msg);
     when = std::max(when, eq_.now());
     if (dst == self_) {
         // CMMU-internal: no network traversal, but still serialized
@@ -266,6 +269,8 @@ CoherenceController::missTo(Addr line, bool exclusive)
     Mshr &m = mshrs_[line];
     m.line = line;
     m.wantExclusive = exclusive;
+    if (hooks_)
+        hooks_->onMshrOpen(self_, line, exclusive);
     sendRequest(exclusive ? MsgType::GetX : MsgType::GetS, line);
     ++counters_.cacheMisses;
     if (mem_.home(line) == self_)
@@ -463,8 +468,12 @@ CoherenceController::fillArrived(Addr line, bool exclusive,
     if (it == mshrs_.end())
         ALEWIFE_PANIC("data reply without MSHR, node ", self_, " line ",
                       line);
+    if (hooks_)
+        hooks_->onFill(self_, line, exclusive);
     Mshr m = std::move(it->second);
     mshrs_.erase(it);
+    if (hooks_)
+        hooks_->onMshrClose(self_, line);
     ALEWIFE_TRACE_EVENT(TraceCat::Coh, eq_.now(), "fill at ", self_,
                         " line ", line, exclusive ? " X" : " S",
                         " demands ", m.demands.size());
@@ -514,6 +523,8 @@ CoherenceController::fillArrived(Addr line, bool exclusive,
         const ProtoMsg &rc = *m.stashedRecall;
         const bool ex = rc.type == MsgType::RecallX
                         || rc.type == MsgType::FwdGetX;
+        if (hooks_)
+            hooks_->onRecallHonored(self_, line);
         if (rc.type == MsgType::FwdGetS || rc.type == MsgType::FwdGetX)
             cacheForward(rc, ex);
         else
@@ -536,6 +547,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::GetX: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             homeRequest(std::move(m));
         });
         break;
@@ -544,6 +557,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::WbEvict: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             homeWriteback(m);
         });
         break;
@@ -551,6 +566,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::RecallNoData: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             // The matching WbEvict is ordered ahead of this message and
             // has already completed the transaction; nothing to do, but
             // verify the invariant.
@@ -563,6 +580,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::InvAck: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             homeInvAck(m);
         });
         break;
@@ -570,6 +589,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::Inv: {
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             cacheInv(m);
         });
         break;
@@ -579,6 +600,8 @@ CoherenceController::receive(ProtoMsg msg)
         const bool ex = msg.type == MsgType::RecallX;
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
         eq_.schedule(at, [this, ex, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             cacheRecall(m, ex);
         });
         break;
@@ -588,6 +611,8 @@ CoherenceController::receive(ProtoMsg msg)
         const bool ex = msg.type == MsgType::FwdGetX;
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
         eq_.schedule(at, [this, ex, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             cacheForward(m, ex);
         });
         break;
@@ -595,6 +620,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::FwdAck: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
         eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+            if (hooks_)
+                hooks_->onProtoProcess(self_, m);
             homeFwdAck(m);
         });
         break;
@@ -688,6 +715,8 @@ CoherenceController::homeServe(const ProtoMsg &msg)
         if (req == self_) {
             const bool ex = t == MsgType::DataX;
             dispatch = local_floor(when);
+            if (hooks_)
+                hooks_->onLocalGrant(self_, line, ex);
             eq_.schedule(dispatch,
                          [this, line, ex, w = std::move(r.words)]() mutable {
                              fillArrived(line, ex, std::move(w));
@@ -705,6 +734,8 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             hold.requester = req;
             hold.id = nextTxnId_++;
             e.txn = hold;
+            if (hooks_)
+                hooks_->onTxnOpen(self_, line, *e.txn);
             eq_.schedule(dispatch,
                          [this, line]() { homeComplete(line); });
         }
@@ -735,6 +766,8 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             txn.forwarded = cfg_.threeHopForwarding;
             txn.id = nextTxnId_++;
             e.txn = txn;
+            if (hooks_)
+                hooks_->onTxnOpen(self_, line, txn);
             ProtoMsg rc;
             rc.type = txn.forwarded ? MsgType::FwdGetS : MsgType::Recall;
             rc.lineAddr = line;
@@ -775,6 +808,8 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             txn.pendingAcks = static_cast<int>(to_inv.size());
             txn.id = nextTxnId_++;
             e.txn = txn;
+            if (hooks_)
+                hooks_->onTxnOpen(self_, line, txn);
             for (NodeId s : to_inv) {
                 ProtoMsg inv;
                 inv.type = MsgType::Inv;
@@ -796,6 +831,8 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             txn.forwarded = cfg_.threeHopForwarding;
             txn.id = nextTxnId_++;
             e.txn = txn;
+            if (hooks_)
+                hooks_->onTxnOpen(self_, line, txn);
             ProtoMsg rc;
             rc.type = txn.forwarded ? MsgType::FwdGetX : MsgType::RecallX;
             rc.lineAddr = line;
@@ -853,6 +890,8 @@ CoherenceController::homeWriteback(const ProtoMsg &msg)
         if (need_reply) {
             if (txn.requester == self_) {
                 const bool ex = r.type == MsgType::DataX;
+                if (hooks_)
+                    hooks_->onLocalGrant(self_, line, ex);
                 eq_.schedule(
                     eq_.now(),
                     [this, line, ex, w = std::move(r.words)]() mutable {
@@ -902,6 +941,8 @@ CoherenceController::homeInvAck(const ProtoMsg &msg)
 
     if (req == self_) {
         const Addr line = msg.lineAddr;
+        if (hooks_)
+            hooks_->onLocalGrant(self_, line, true);
         eq_.schedule(eq_.now(),
                      [this, line, w = std::move(r.words)]() mutable {
                          fillArrived(line, true, std::move(w));
@@ -916,6 +957,8 @@ void
 CoherenceController::homeComplete(Addr line)
 {
     DirEntry &e = dir_.entry(line);
+    if (hooks_)
+        hooks_->onTxnClose(self_, line);
     e.txn.reset();
     homeMaybeDrain(line);
 }
@@ -928,20 +971,29 @@ void
 CoherenceController::cacheInv(const ProtoMsg &msg)
 {
     const Addr line = msg.lineAddr;
-    auto dirty = cache_.invalidate(line);
-    if (dirty)
-        ALEWIFE_PANIC("Inv hit a Modified line at node ", self_);
-    pfb_.invalidate(line);
-    if (auto it = mshrs_.find(line);
-        it != mshrs_.end() && !it->second.wantExclusive) {
-        // The invalidation overtook a data reply still in flight
-        // (different source pairs under 3-hop forwarding): remember to
-        // drop the line right after the fill satisfies the demands
-        // that were ordered before this invalidation.
-        it->second.killedByInv = true;
+    const bool skipInv = faults_.skipInvalidate && !faultFired_;
+    if (skipInv)
+        faultFired_ = true;
+    if (!skipInv) {
+        auto dirty = cache_.invalidate(line);
+        if (dirty)
+            ALEWIFE_PANIC("Inv hit a Modified line at node ", self_);
+        pfb_.invalidate(line);
+        if (auto it = mshrs_.find(line);
+            it != mshrs_.end() && !it->second.wantExclusive) {
+            // The invalidation overtook a data reply still in flight
+            // (different source pairs under 3-hop forwarding): remember
+            // to drop the line right after the fill satisfies the
+            // demands that were ordered before this invalidation.
+            it->second.killedByInv = true;
+        }
+        bumpEpoch(line);
     }
-    bumpEpoch(line);
 
+    if (faults_.dropInvAck && !faultFired_) {
+        faultFired_ = true;
+        return; // swallow the ack: the home's txn never closes
+    }
     ProtoMsg ack;
     ack.type = MsgType::InvAck;
     ack.lineAddr = line;
@@ -999,6 +1051,8 @@ CoherenceController::cacheRecall(const ProtoMsg &msg, bool exclusive)
         ProtoMsg stash = msg;
         stash.type = exclusive ? MsgType::RecallX : MsgType::Recall;
         it->second.stashedRecall = std::move(stash);
+        if (hooks_)
+            hooks_->onRecallStashed(self_, line);
         return;
     }
     resp.type = MsgType::RecallNoData;
@@ -1093,6 +1147,8 @@ CoherenceController::cacheForward(const ProtoMsg &msg, bool exclusive)
         ProtoMsg stash = msg;
         stash.type = exclusive ? MsgType::FwdGetX : MsgType::FwdGetS;
         it->second.stashedRecall = std::move(stash);
+        if (hooks_)
+            hooks_->onRecallStashed(self_, line);
         return;
     }
     // Evicted: the WbEvict is ordered ahead at the home, which falls

@@ -38,6 +38,10 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
+namespace alewife::check {
+class Hooks;
+}
+
 namespace alewife::coh {
 
 /**
@@ -129,6 +133,26 @@ class CoherenceController
 
     /** Dump outstanding MSHRs and busy directory lines (deadlocks). */
     void debugDump(std::ostream &os) const;
+
+    /** Observer notified of protocol transitions; may be null. */
+    void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
+
+    /** Read-only directory view for the invariant auditor. */
+    const Directory &debugDir() const { return dir_; }
+
+    /**
+     * Protocol faults injectable for auditor self-tests: each fires at
+     * most once, on the next matching action at this node.
+     */
+    struct DebugFaults
+    {
+        /** Swallow one InvAck (the home waits forever). */
+        bool dropInvAck = false;
+        /** Ack one Inv without actually invalidating the local copy. */
+        bool skipInvalidate = false;
+    };
+
+    void debugInjectFaults(const DebugFaults &f) { faults_ = f; }
 
   private:
     // --- requester-side machinery ---
@@ -260,6 +284,9 @@ class CoherenceController
     Tick cmmuFreeAt_ = 0;
     std::uint64_t nextTxnId_ = 1;
     int prefetchesInFlight_ = 0;
+    check::Hooks *hooks_ = nullptr;
+    DebugFaults faults_{};
+    bool faultFired_ = false;
 };
 
 } // namespace alewife::coh

@@ -68,4 +68,11 @@ Directory::find(Addr line)
     return it == entries_.end() ? nullptr : &it->second;
 }
 
+const DirEntry *
+Directory::find(Addr line) const
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
 } // namespace alewife::coh

@@ -76,6 +76,7 @@ class Directory
 
     /** Entry if it exists already. */
     DirEntry *find(Addr line);
+    const DirEntry *find(Addr line) const;
 
     /** Number of lines with non-default state (diagnostics). */
     std::size_t linesTracked() const { return entries_.size(); }

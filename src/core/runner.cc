@@ -1,7 +1,9 @@
 #include "core/runner.hh"
 
 #include <cmath>
+#include <optional>
 
+#include "check/auditor.hh"
 #include "sim/logging.hh"
 
 namespace alewife::core {
@@ -14,17 +16,29 @@ RunResult::avgCycles(TimeCat c) const
 }
 
 RunResult
-runApp(App &app, const RunSpec &spec, bool verify_fatal)
+runApp(App &app, const RunSpec &spec, bool verify_fatal,
+       check::InvariantAuditor *auditor)
 {
     Machine m(spec.machine, syncStyle(spec.mechanism),
               recvMode(spec.mechanism));
     if (spec.crossTraffic.bytesPerCycle > 0.0)
         m.addCrossTraffic(spec.crossTraffic);
+    if (spec.perturb.enabled())
+        m.setPerturbation(spec.perturb);
+
+    std::optional<check::InvariantAuditor> owned;
+    if (!auditor && spec.audit)
+        auditor = &owned.emplace();
+    if (auditor)
+        auditor->attach(m);
 
     app.setup(m, spec.mechanism);
 
     const Tick finish =
         m.run([&app](proc::Ctx &ctx) { return app.program(ctx); });
+
+    if (auditor)
+        auditor->finalize();
 
     RunResult r;
     r.app = app.name();
@@ -54,10 +68,11 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal)
 }
 
 RunResult
-runApp(const AppFactory &factory, const RunSpec &spec, bool verify_fatal)
+runApp(const AppFactory &factory, const RunSpec &spec, bool verify_fatal,
+       check::InvariantAuditor *auditor)
 {
     auto app = factory();
-    return runApp(*app, spec, verify_fatal);
+    return runApp(*app, spec, verify_fatal, auditor);
 }
 
 } // namespace alewife::core

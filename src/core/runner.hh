@@ -10,11 +10,16 @@
 #include <cstdint>
 #include <string>
 
+#include "check/perturb.hh"
 #include "core/app.hh"
 #include "core/mechanism.hh"
 #include "machine/config.hh"
 #include "net/cross_traffic.hh"
 #include "sim/stats.hh"
+
+namespace alewife::check {
+class InvariantAuditor;
+}
 
 namespace alewife::core {
 
@@ -54,17 +59,27 @@ struct RunSpec
     MachineConfig machine;
     Mechanism mechanism = Mechanism::SharedMemory;
     net::CrossTrafficConfig crossTraffic; ///< bytesPerCycle==0 disables
+
+    /** Attach an invariant auditor that panics at the first violation. */
+    bool audit = false;
+    /** Schedule perturbation (fuzzing); disabled by default. */
+    check::PerturbConfig perturb;
 };
 
 /**
  * Run @p app under @p spec.
  * @param verify_fatal abort (vs. just flag) on checksum mismatch
+ * @param auditor externally owned auditor to attach (e.g. one that
+ *        collects violations instead of aborting); when null and
+ *        spec.audit is set, an aborting auditor is used internally
  */
-RunResult runApp(App &app, const RunSpec &spec, bool verify_fatal = true);
+RunResult runApp(App &app, const RunSpec &spec, bool verify_fatal = true,
+                 check::InvariantAuditor *auditor = nullptr);
 
 /** Convenience: build an App from a factory and run it. */
 RunResult runApp(const AppFactory &factory, const RunSpec &spec,
-                 bool verify_fatal = true);
+                 bool verify_fatal = true,
+                 check::InvariantAuditor *auditor = nullptr);
 
 } // namespace alewife::core
 

@@ -29,6 +29,10 @@ ResultCache::key(const core::RunSpec &spec, const std::string &appKey)
 {
     if (appKey.empty())
         return "";
+    // Perturbed runs explore alternate-but-legal schedules; their
+    // results are seed-dependent and must never be cached.
+    if (spec.perturb.enabled())
+        return "";
     char cross[96];
     std::snprintf(cross, sizeof(cross),
                   "crossBpc=%.17g;crossMsgBytes=%u;",

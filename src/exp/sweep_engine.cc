@@ -45,8 +45,9 @@ SweepEngine::run(const std::vector<Job> &jobs)
     todo.reserve(jobs.size());
     for (int i = 0; i < n; ++i) {
         const std::string key =
-            opts_.cache ? ResultCache::key(jobs[i].spec, jobs[i].appKey)
-                        : std::string();
+            (opts_.cache && !opts_.audit)
+                ? ResultCache::key(jobs[i].spec, jobs[i].appKey)
+                : std::string();
         if (!key.empty()) {
             if (auto hit = opts_.cache->lookup(key)) {
                 results[i] = std::move(*hit);
@@ -75,7 +76,9 @@ SweepEngine::run(const std::vector<Job> &jobs)
             ++progress_.running;
         }
         const Job &job = jobs[i];
-        results[i] = core::runApp(job.app, job.spec, opts_.verifyFatal);
+        core::RunSpec spec = job.spec;
+        spec.audit = spec.audit || opts_.audit;
+        results[i] = core::runApp(job.app, spec, opts_.verifyFatal);
         if (opts_.cache) {
             const std::string key =
                 ResultCache::key(job.spec, job.appKey);

@@ -83,6 +83,13 @@ struct EngineOptions
     std::function<void(const Progress &)> onProgress;
     /** Abort on checksum mismatch (the runner's verify_fatal). */
     bool verifyFatal = true;
+    /**
+     * Attach an invariant auditor to every job (panics at the first
+     * violation). Audited sweeps always simulate — cached results are
+     * not consulted — though results are still stored for later
+     * unaudited sweeps (auditing never changes a result).
+     */
+    bool audit = false;
 };
 
 class SweepEngine

@@ -67,6 +67,16 @@ Machine::addCrossTraffic(net::CrossTrafficConfig cfg)
     cross_ = std::make_unique<net::CrossTraffic>(eq_, *mesh_, cfg);
 }
 
+void
+Machine::setPerturbation(const check::PerturbConfig &p)
+{
+    if (p.tieBreak)
+        eq_.setTieBreak(p.seed);
+    if (p.hopJitterFrac > 0.0)
+        mesh_->setHopJitter(p.hopJitterFrac,
+                            p.seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
 bool
 Machine::allDone() const
 {

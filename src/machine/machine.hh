@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/perturb.hh"
 #include "coh/coherence.hh"
 #include "machine/config.hh"
 #include "mem/address_space.hh"
@@ -64,9 +65,16 @@ class Machine
     coh::CoherenceController &cohAt(int i) { return *nodes_[i]->coh; }
     msg::NetIface &niAt(int i) { return *nodes_[i]->ni; }
     mem::Cache &cacheAt(int i) { return nodes_[i]->cache; }
+    proc::PrefetchBuffer &pfbAt(int i) { return nodes_[i]->pfb; }
 
     /** Attach cross-traffic injectors (call before run()). */
     void addCrossTraffic(net::CrossTrafficConfig cfg);
+
+    /**
+     * Apply schedule-perturbation knobs (fuzzing). Call before run();
+     * a disabled config is a no-op, leaving the run bit-identical.
+     */
+    void setPerturbation(const check::PerturbConfig &p);
 
     /**
      * Launch one program per node and drive the simulation until all

@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 
 namespace alewife::mem {
@@ -63,7 +64,10 @@ Cache::readWord(Addr a) const
     const Line *l = find(a);
     if (!l)
         ALEWIFE_PANIC("readWord on absent line ", a);
-    return l->words[(a - l->tag) / 8];
+    const std::uint64_t v = l->words[(a - l->tag) / 8];
+    if (hooks_)
+        hooks_->onCacheRead(node_, a, v);
+    return v;
 }
 
 void
@@ -75,6 +79,8 @@ Cache::writeWord(Addr a, std::uint64_t v)
     if (l->st != LineState::Modified)
         ALEWIFE_PANIC("writeWord on non-Modified line ", a);
     l->words[(a - l->tag) / 8] = v;
+    if (hooks_)
+        hooks_->onCacheWrite(node_, a, v);
 }
 
 std::optional<Cache::Victim>
@@ -85,12 +91,19 @@ Cache::fill(Addr line_addr, LineState st,
         ALEWIFE_PANIC("fill with unaligned line address");
     Line &l = lines_[setOf(line_addr)];
     std::optional<Victim> victim;
-    if (l.valid && l.tag != line_addr && l.st == LineState::Modified)
-        victim = Victim{l.tag, true, std::move(l.words)};
+    if (l.valid && l.tag != line_addr) {
+        if (hooks_)
+            hooks_->onCacheEvict(node_, l.tag,
+                                 l.st == LineState::Modified);
+        if (l.st == LineState::Modified)
+            victim = Victim{l.tag, true, std::move(l.words)};
+    }
     l.valid = true;
     l.tag = line_addr;
     l.st = st;
     l.words = words;
+    if (hooks_)
+        hooks_->onCacheFill(node_, line_addr, st, l.words);
     return victim;
 }
 
@@ -101,6 +114,9 @@ Cache::invalidate(Addr a)
     if (!l)
         return std::nullopt;
     l->valid = false;
+    if (hooks_)
+        hooks_->onCacheInvalidate(node_, l->tag,
+                                  l->st == LineState::Modified);
     if (l->st == LineState::Modified)
         return std::move(l->words);
     return std::nullopt;
@@ -113,6 +129,8 @@ Cache::downgrade(Addr a)
     if (!l || l->st != LineState::Modified)
         return std::nullopt;
     l->st = LineState::Shared;
+    if (hooks_)
+        hooks_->onCacheDowngrade(node_, l->tag);
     return l->words; // copy: the line stays resident
 }
 
@@ -123,6 +141,8 @@ Cache::upgrade(Addr a)
     if (!l)
         ALEWIFE_PANIC("upgrade on absent line ", a);
     l->st = LineState::Modified;
+    if (hooks_)
+        hooks_->onCacheUpgrade(node_, l->tag);
 }
 
 std::vector<std::uint64_t>

@@ -17,6 +17,10 @@
 
 #include "sim/types.hh"
 
+namespace alewife::check {
+class Hooks;
+}
+
 namespace alewife::mem {
 
 /** Cache-line coherence state (MSI; I is "not present"). */
@@ -85,6 +89,17 @@ class Cache
     /** Drop every line (used between benchmark repetitions). */
     void flushAll();
 
+    /**
+     * Observer notified of fills/evicts/invalidates/state changes and
+     * word accesses; may be null. @p node identifies this cache in the
+     * observer's view. Auditing across flushAll() is not supported.
+     */
+    void setAuditHooks(check::Hooks *hooks, NodeId node)
+    {
+        hooks_ = hooks;
+        node_ = node;
+    }
+
   private:
     struct Line
     {
@@ -101,6 +116,8 @@ class Cache
 
     std::uint32_t lineBytes_;
     std::uint32_t numSets_;
+    check::Hooks *hooks_ = nullptr;
+    NodeId node_ = -1;
     std::vector<Line> lines_;
 };
 

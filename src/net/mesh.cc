@@ -1,7 +1,9 @@
 #include "net/mesh.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -29,6 +31,25 @@ Mesh::serializationTicks(std::uint32_t bytes) const
 {
     return cyclesToTicks(static_cast<double>(bytes)
                          / cfg_.linkBytesPerCycle());
+}
+
+void
+Mesh::setHopJitter(double frac, std::uint64_t seed)
+{
+    jitterFrac_ = frac;
+    jitterRng_ = Rng(seed);
+}
+
+Tick
+Mesh::hopLatency()
+{
+    if (jitterFrac_ <= 0.0)
+        return hopTicks_;
+    const double f =
+        1.0 + jitterFrac_ * (2.0 * jitterRng_.nextDouble() - 1.0);
+    const auto t = static_cast<Tick>(
+        std::llround(static_cast<double>(hopTicks_) * f));
+    return t < 1 ? 1 : t;
 }
 
 int
@@ -92,6 +113,8 @@ Mesh::send(std::unique_ptr<Packet> pkt)
             volume_.add(static_cast<VolCat>(c), pkt->volBytes[c]);
         }
     }
+    if (hooks_)
+        hooks_->onPacketInjected(*pkt);
 
     const Tick now = eq_.now();
 
@@ -115,8 +138,9 @@ Mesh::send(std::unique_ptr<Packet> pkt)
     int finalLink = -1;
     for (int li : scratchLinks_) {
         Link &link = links_[li];
-        const Tick uncontended = head + hopTicks_;
-        head = std::max(uncontended, link.freeAt + hopTicks_);
+        const Tick hop = hopLatency();
+        const Tick uncontended = head + hop;
+        head = std::max(uncontended, link.freeAt + hop);
         if (first) {
             first_link_wait = head - uncontended;
             first = false;
@@ -156,6 +180,8 @@ Mesh::deliver(std::unique_ptr<Packet> pkt, int finalLink)
         ALEWIFE_TRACE_EVENT(TraceCat::Net, eq_.now(), "deliver #",
                             pkt->id, " at ", pkt->dst);
         ++delivered_;
+        if (hooks_)
+            hooks_->onPacketDelivered(*pkt);
         return;
     }
     ALEWIFE_TRACE_EVENT(TraceCat::Net, eq_.now(), "reject #", pkt->id,

@@ -29,8 +29,13 @@
 #include "machine/config.hh"
 #include "net/packet.hh"
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+
+namespace alewife::check {
+class Hooks;
+}
 
 namespace alewife::net {
 
@@ -81,6 +86,17 @@ class Mesh
     /** Number of hops a packet from @p a to @p b traverses. */
     int hopCount(NodeId a, NodeId b) const;
 
+    /** Observer notified on packet injection/delivery; may be null. */
+    void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
+
+    /**
+     * Scale each hop's latency by a seeded uniform factor in
+     * [1-frac, 1+frac] (fuzzing only; no effect in ideal mode). Link
+     * occupancy still serializes packets, so per-route FIFO delivery
+     * order is preserved.
+     */
+    void setHopJitter(double frac, std::uint64_t seed);
+
     const MachineConfig &config() const { return cfg_; }
 
   private:
@@ -103,6 +119,9 @@ class Mesh
 
     Tick serializationTicks(std::uint32_t bytes) const;
 
+    /** Per-hop latency, jittered when hop jitter is enabled. */
+    Tick hopLatency();
+
     EventQueue &eq_;
     const MachineConfig &cfg_;
     std::vector<Sink> sinks_;
@@ -116,6 +135,9 @@ class Mesh
     Tick hopTicks_;
     Tick fixedTicks_;
     Tick retryTicks_;
+    check::Hooks *hooks_ = nullptr;
+    double jitterFrac_ = 0.0;
+    Rng jitterRng_{0};
     mutable std::vector<int> scratchLinks_;
 };
 

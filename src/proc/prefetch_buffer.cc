@@ -1,5 +1,6 @@
 #include "proc/prefetch_buffer.hh"
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 
 namespace alewife::proc {
@@ -51,11 +52,15 @@ PrefetchBuffer::install(Addr line, mem::LineState st,
     if (!target) {
         target = &slots_[fifoNext_];
         fifoNext_ = (fifoNext_ + 1) % slots_.size();
+        if (hooks_ && target->valid && target->lineAddr != line)
+            hooks_->onPfbRemove(node_, target->lineAddr);
     }
     target->valid = true;
     target->lineAddr = line;
     target->st = st;
     target->words = std::move(words);
+    if (hooks_)
+        hooks_->onPfbInstall(node_, line, st, target->words);
 }
 
 std::optional<PrefetchBuffer::Entry>
@@ -65,6 +70,8 @@ PrefetchBuffer::take(Addr line)
         if (e.valid && e.lineAddr == line) {
             Entry out = std::move(e);
             e.valid = false;
+            if (hooks_)
+                hooks_->onPfbRemove(node_, line);
             return out;
         }
     }
@@ -80,6 +87,8 @@ PrefetchBuffer::evictOldest()
             fifoNext_ = (fifoNext_ + i + 1) % slots_.size();
             Entry out = std::move(e);
             e.valid = false;
+            if (hooks_)
+                hooks_->onPfbRemove(node_, out.lineAddr);
             return out;
         }
     }
@@ -92,6 +101,8 @@ PrefetchBuffer::invalidate(Addr line)
     for (Entry &e : slots_) {
         if (e.valid && e.lineAddr == line) {
             e.valid = false;
+            if (hooks_)
+                hooks_->onPfbRemove(node_, line);
             return true;
         }
     }
@@ -104,6 +115,8 @@ PrefetchBuffer::downgrade(Addr line)
     for (Entry &e : slots_) {
         if (e.valid && e.lineAddr == line) {
             e.st = mem::LineState::Shared;
+            if (hooks_)
+                hooks_->onPfbDowngrade(node_, line);
             return true;
         }
     }

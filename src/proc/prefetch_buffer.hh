@@ -20,6 +20,10 @@
 #include "mem/cache.hh"
 #include "sim/types.hh"
 
+namespace alewife::check {
+class Hooks;
+}
+
 namespace alewife::proc {
 
 /**
@@ -74,9 +78,18 @@ class PrefetchBuffer
     /** Drop everything. */
     void clear();
 
+    /** Observer notified of installs/removals; may be null. */
+    void setAuditHooks(check::Hooks *hooks, NodeId node)
+    {
+        hooks_ = hooks;
+        node_ = node;
+    }
+
   private:
     std::vector<Entry> slots_;
     std::size_t fifoNext_ = 0;
+    check::Hooks *hooks_ = nullptr;
+    NodeId node_ = -1;
 };
 
 } // namespace alewife::proc

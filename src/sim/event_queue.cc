@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <limits>
+
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 
 namespace alewife {
@@ -24,8 +27,22 @@ EventQueue::schedule(Tick when, std::function<void()> fn)
         ALEWIFE_PANIC("event scheduled in the past: ", when, " < ", now_);
     auto state = std::make_shared<EventHandle::State>();
     state->fn = std::move(fn);
-    heap_.push(Entry{when, seq_++, state});
+    // Same-tick events scheduled at now() keep FIFO order (they must run
+    // after already-queued same-tick events), so only future events get a
+    // random priority.
+    std::uint64_t pri = 0;
+    if (tieBreak_)
+        pri = (when == now_) ? std::numeric_limits<std::uint64_t>::max()
+                             : rng_.next();
+    heap_.push(Entry{when, pri, seq_++, state});
     return EventHandle(state);
+}
+
+void
+EventQueue::setTieBreak(std::uint64_t seed)
+{
+    tieBreak_ = true;
+    rng_ = Rng(seed);
 }
 
 EventHandle
@@ -49,6 +66,8 @@ EventQueue::step()
         // callback schedules more events.
         auto fn = std::move(e.state->fn);
         fn();
+        if (hooks_)
+            hooks_->onEventExecuted(now_);
         return true;
     }
     return false;

@@ -6,6 +6,16 @@
  * by (tick, insertion sequence) so simulations are fully deterministic.
  * Events may be cancelled after scheduling (used by the processor model to
  * push back a pending resume when an interrupt handler steals cycles).
+ *
+ * Schedule perturbation (setTieBreak): for fuzzing, same-tick events
+ * scheduled for the *future* can be ordered by a seeded random priority
+ * instead of insertion order. Events scheduled at the current tick keep
+ * the documented contract — they run after already-queued same-tick
+ * events — so perturbation only reorders interleavings the simulation
+ * never promised. Off by default; default runs are bit-identical.
+ *
+ * An optional check::Hooks observer is notified after every executed
+ * event (the invariant auditor runs its checks on settled state there).
  */
 
 #ifndef ALEWIFE_SIM_EVENT_QUEUE_HH
@@ -17,7 +27,12 @@
 #include <queue>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/types.hh"
+
+namespace alewife::check {
+class Hooks;
+}
 
 namespace alewife {
 
@@ -95,10 +110,21 @@ class EventQueue
      */
     bool processOne() { return step(); }
 
+    /**
+     * Enable seeded random ordering among same-tick *future* events
+     * (see the file comment). Call before scheduling; same seed gives
+     * the same schedule, so perturbed runs stay replayable.
+     */
+    void setTieBreak(std::uint64_t seed);
+
+    /** Observer notified after every executed event; may be null. */
+    void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
+
   private:
     struct Entry
     {
         Tick when;
+        std::uint64_t pri; ///< tie-break priority; 0 when unperturbed
         std::uint64_t seq;
         std::shared_ptr<EventHandle::State> state;
     };
@@ -110,6 +136,8 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.pri != b.pri)
+                return a.pri > b.pri;
             return a.seq > b.seq;
         }
     };
@@ -120,6 +148,9 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    bool tieBreak_ = false;
+    Rng rng_{0};
+    check::Hooks *hooks_ = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

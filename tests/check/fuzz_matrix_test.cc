@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Schedule-perturbation fuzz matrix (ctest labels: fuzz, slow).
+ *
+ * Runs the stress workload across a seed x perturbation-mode matrix
+ * with a collecting InvariantAuditor attached and requires every run
+ * to verify numerically and audit clean. A failure message names the
+ * violated invariant plus the (seed, mode) pair, which replays exactly
+ * via tests or `./build/bench/check_fuzz --seed-base <seed>`.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/stress.hh"
+#include "check/auditor.hh"
+#include "core/runner.hh"
+
+namespace alewife {
+namespace {
+
+using check::InvariantAuditor;
+using core::Mechanism;
+using core::RunSpec;
+
+struct Mode
+{
+    const char *name;
+    bool tieBreak;
+    double jitter;
+};
+
+constexpr Mode kModes[] = {
+    {"none", false, 0.0},
+    {"tiebreak", true, 0.0},
+    {"jitter", false, 0.25},
+    {"both", true, 0.25},
+};
+
+TEST(FuzzMatrix, StressAuditsCleanAcrossSeedsAndModes)
+{
+    constexpr int kSeeds = 8;
+    for (int s = 0; s < kSeeds; ++s) {
+        const std::uint64_t seed = 1000 + 37 * s;
+        for (const Mode &mode : kModes) {
+            apps::Stress::Params p;
+            p.counters = 4;
+            p.opsPerNode = 100;
+            p.nprocs = 16;
+            p.seed = seed;
+            apps::Stress app(p);
+
+            RunSpec spec;
+            spec.machine.meshX = 4;
+            spec.machine.meshY = 4;
+            spec.perturb.seed = seed;
+            spec.perturb.tieBreak = mode.tieBreak;
+            spec.perturb.hopJitterFrac = mode.jitter;
+
+            InvariantAuditor auditor(
+                {.abortOnViolation = false, .maxViolations = 4});
+            const auto r = core::runApp(app, spec, false, &auditor);
+            EXPECT_TRUE(r.verified)
+                << "checksum mismatch: seed=" << seed
+                << " mode=" << mode.name;
+            for (const auto &v : auditor.violations()) {
+                ADD_FAILURE()
+                    << v.invariant << " at tick " << v.tick
+                    << " (seed=" << seed << " mode=" << mode.name
+                    << "): " << v.detail;
+            }
+        }
+    }
+}
+
+TEST(FuzzMatrix, PerturbedSchedulesStillConvergeUnderPrefetch)
+{
+    for (int s = 0; s < 4; ++s) {
+        const std::uint64_t seed = 7000 + 101 * s;
+        apps::Stress::Params p;
+        p.counters = 4;
+        p.opsPerNode = 100;
+        p.nprocs = 16;
+        p.seed = seed;
+        apps::Stress app(p);
+
+        RunSpec spec;
+        spec.machine.meshX = 4;
+        spec.machine.meshY = 4;
+        spec.mechanism = Mechanism::SharedMemoryPrefetch;
+        spec.perturb.seed = seed;
+        spec.perturb.tieBreak = true;
+        spec.perturb.hopJitterFrac = 0.25;
+
+        InvariantAuditor auditor(
+            {.abortOnViolation = false, .maxViolations = 4});
+        const auto r = core::runApp(app, spec, false, &auditor);
+        EXPECT_TRUE(r.verified) << "seed=" << seed;
+        for (const auto &v : auditor.violations())
+            ADD_FAILURE() << v.invariant << " (seed=" << seed
+                          << "): " << v.detail;
+    }
+}
+
+} // namespace
+} // namespace alewife

@@ -162,6 +162,95 @@ TEST(ResultCache, CorruptDiskEntryIsAMiss)
     EXPECT_EQ(reader.misses(), 1u);
 }
 
+TEST(ResultCache, TruncatedDiskEntryIsAMiss)
+{
+    // A crash mid-write (or a torn copy) leaves a prefix of valid
+    // JSON; the loader must treat it as a miss, not crash or return a
+    // partial result.
+    TempDir tmp;
+    const std::string k = ResultCache::key(baseSpec(), "stream/s=1");
+    {
+        ResultCache writer(tmp.path.string());
+        writer.store(k, sampleResult());
+    }
+    for (const auto &e :
+         std::filesystem::directory_iterator(tmp.path)) {
+        std::ifstream in(e.path());
+        std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        ASSERT_GT(body.size(), 32u);
+        std::ofstream(e.path()) << body.substr(0, body.size() / 2);
+    }
+    ResultCache reader(tmp.path.string());
+    EXPECT_FALSE(reader.lookup(k).has_value());
+    EXPECT_EQ(reader.misses(), 1u);
+}
+
+TEST(ResultCache, MismatchedStoredKeyIsAMiss)
+{
+    // A file landing under the wrong hash name (filename collision or
+    // manual tampering) must be rejected by the embedded full key and
+    // recomputed, never returned as a stale hit for the other key.
+    TempDir tmp;
+    const std::string k1 = ResultCache::key(baseSpec(), "stream/s=1");
+    const std::string k2 = ResultCache::key(baseSpec(), "stream/s=2");
+    ResultCache writer(tmp.path.string());
+    writer.store(k1, sampleResult());
+
+    // Masquerade k1's entry as k2's by renaming it to k2's hash name.
+    std::filesystem::path k1file, k2file;
+    for (const auto &e :
+         std::filesystem::directory_iterator(tmp.path))
+        k1file = e.path();
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(fnv1a64(k2)));
+    k2file = tmp.path / name;
+    std::filesystem::rename(k1file, k2file);
+
+    ResultCache reader(tmp.path.string());
+    EXPECT_FALSE(reader.lookup(k2).has_value());
+    EXPECT_EQ(reader.misses(), 1u);
+}
+
+TEST(ResultCache, StrayTmpFilesAreIgnored)
+{
+    // Leftover write-then-rename temporaries must not shadow or break
+    // the committed entry.
+    TempDir tmp;
+    const std::string k = ResultCache::key(baseSpec(), "stream/s=1");
+    const core::RunResult r = sampleResult();
+    {
+        ResultCache writer(tmp.path.string());
+        writer.store(k, r);
+    }
+    std::ofstream(tmp.path / "deadbeef.json.tmp.0") << "{ torn";
+    ResultCache reader(tmp.path.string());
+    const auto hit = reader.lookup(k);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->runtimeCycles, r.runtimeCycles);
+}
+
+TEST(ResultCache, PerturbedSpecsAreNeverCached)
+{
+    // Perturbed schedules are seed-dependent explorations; caching
+    // them would poison unperturbed sweeps and vice versa.
+    core::RunSpec spec = baseSpec();
+    spec.perturb.tieBreak = true;
+    EXPECT_EQ(ResultCache::key(spec, "stream/s=1"), "");
+
+    core::RunSpec jitter = baseSpec();
+    jitter.perturb.hopJitterFrac = 0.25;
+    EXPECT_EQ(ResultCache::key(jitter, "stream/s=1"), "");
+
+    // An all-defaults PerturbConfig (seed set but nothing enabled) is
+    // not a perturbation and must keep the normal key.
+    core::RunSpec inert = baseSpec();
+    inert.perturb.seed = 99;
+    EXPECT_EQ(ResultCache::key(inert, "stream/s=1"),
+              ResultCache::key(baseSpec(), "stream/s=1"));
+}
+
 TEST(ResultCache, Fnv1aMatchesReferenceVectors)
 {
     // Standard FNV-1a 64 test vectors.

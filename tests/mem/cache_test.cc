@@ -1,10 +1,15 @@
 /**
  * @file
- * Tests for the direct-mapped cache.
+ * Tests for the direct-mapped cache, including the machine-level
+ * eviction-races-with-recall corner: a dirty victim evicted while a
+ * Recall/RecallX is in flight must be answered with RecallNoData, and
+ * the home's waiting transaction must still close off the writeback.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/auditor.hh"
+#include "machine/machine.hh"
 #include "mem/cache.hh"
 
 namespace alewife::mem {
@@ -132,6 +137,100 @@ TEST(Cache, FlushAllEmptiesCache)
     c.flushAll();
     EXPECT_FALSE(c.contains(0x100));
     EXPECT_FALSE(c.contains(0x200));
+}
+
+// ---------------------------------------------------------------------
+// Eviction races with recall (machine-level).
+//
+// Node 0 dirties L1, then writes L2 which conflicts with L1 in its
+// direct-mapped cache, so the fill evicts L1 as a dirty victim
+// (WbEvict toward home). Node 1 accesses L1 after a swept delay; for
+// some delays the home's Recall/RecallX reaches node 0 after the
+// eviction, and node 0 — no longer holding L1 — must answer
+// RecallNoData. The home then closes the transaction off the WbEvict
+// data. The auditor's finalize() proves the transaction closed and
+// the directory agrees with every cache.
+// ---------------------------------------------------------------------
+
+sim::Thread
+raceProgram(proc::Ctx &ctx, Addr l1, Addr l2, int evict_delay,
+            bool writer)
+{
+    const int self = ctx.self();
+    if (self == 0) {
+        co_await ctx.write(l1, 111);
+        co_await ctx.barrier();
+        co_await ctx.compute(static_cast<double>(evict_delay));
+        // Conflicting fill: evicts dirty L1 (WbEvict in flight).
+        co_await ctx.write(l2, 222);
+    } else if (self == 1) {
+        co_await ctx.barrier();
+        if (writer)
+            co_await ctx.write(l1, 333); // RecallX path
+        else
+            co_await ctx.read(l1); // Recall path
+    } else {
+        co_await ctx.barrier();
+    }
+    co_await ctx.barrier();
+    co_return;
+}
+
+/**
+ * Sweep the evictor's delay until the recall-vs-eviction race is
+ * actually hit (RecallNoData observed), asserting a clean audit and
+ * correct memory every time.
+ */
+void
+sweepRecallRace(bool writer)
+{
+    bool saw_race = false;
+    for (int delay = 0; delay <= 60; delay += 2) {
+        MachineConfig cfg;
+        cfg.meshX = 2;
+        cfg.meshY = 2;
+        cfg.cacheBytes = 1024;
+        Machine m(cfg, proc::SyncStyle::SharedMemory,
+                  msg::RecvMode::Polling);
+        check::InvariantAuditor auditor(
+            {.abortOnViolation = false, .maxViolations = 4});
+        auditor.attach(m);
+
+        // l2 is exactly one cache stride past l1: same direct-mapped
+        // set, guaranteed conflict. (A cache-sized span keeps the
+        // barrier's own sync lines clear of l1's set.)
+        const Addr l1 = m.mem().alloc(cfg.cacheBytes / 8,
+                                      HomePolicy::Fixed, 3, "race");
+        const Addr l2 = l1 + cfg.cacheBytes;
+        (void)m.mem().alloc(cfg.wordsPerLine(), HomePolicy::Fixed, 3,
+                            "race2");
+
+        m.run([&, delay, writer](proc::Ctx &ctx) {
+            return raceProgram(ctx, l1, l2, delay, writer);
+        });
+        auditor.finalize();
+
+        for (const auto &v : auditor.violations())
+            ADD_FAILURE() << "delay " << delay << ": " << v.invariant
+                          << ": " << v.detail;
+        EXPECT_EQ(m.debugWord(l1), writer ? 333u : 111u)
+            << "delay " << delay;
+        EXPECT_EQ(m.debugWord(l2), 222u) << "delay " << delay;
+        if (auditor.messagesSeen(coh::MsgType::RecallNoData) > 0)
+            saw_race = true;
+    }
+    EXPECT_TRUE(saw_race)
+        << "sweep never produced the eviction-vs-recall race";
+}
+
+TEST(CacheRecallRace, DirtyEvictionDuringRecallXAnswersRecallNoData)
+{
+    sweepRecallRace(/*writer=*/true);
+}
+
+TEST(CacheRecallRace, DirtyEvictionDuringRecallAnswersRecallNoData)
+{
+    sweepRecallRace(/*writer=*/false);
 }
 
 } // namespace
