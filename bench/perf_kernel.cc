@@ -1,0 +1,341 @@
+/**
+ * @file
+ * PERF — tracked performance benchmark of the simulation kernel.
+ *
+ * Measures raw events/sec of the EventQueue hot path (schedule / fire /
+ * cancel) and wall time of a standard workload bundle (EM3D and ICCG at
+ * default scale plus one Figure-8 cross-traffic column), then emits
+ * schema-versioned JSON so successive PRs leave a perf trajectory in
+ * BENCH_kernel.json at the repo root.
+ *
+ * Usage:
+ *   perf_kernel [--quick] [--repeat N] [--out FILE]
+ *
+ *   --quick     smoke-test sizes (used by the `bench` ctest label; no
+ *               timing assertions, just "completes and emits valid JSON")
+ *   --repeat N  repeat each microbench N times, keep the best (default 3)
+ *   --out FILE  where to write the JSON (default BENCH_kernel.json)
+ *
+ * Timing numbers are only comparable between Release builds; the build
+ * type is recorded in the JSON, and bench/CMakeLists.txt warns when
+ * benchmarks are configured without CMAKE_BUILD_TYPE=Release. Use
+ * scripts/bench.sh to run the whole protocol reproducibly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/runner.hh"
+#include "exp/json.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+#if defined(__unix__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace alewife;
+
+double
+nowSeconds()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+/** One measured result row. */
+struct Row
+{
+    std::string name;
+    std::uint64_t events = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    double runtimeCycles = 0.0; ///< 0 for microbenches
+};
+
+// ---------------------------------------------------------------------
+// Event-queue microbenches. Callbacks are named function objects (not
+// std::function) so the queue's small-buffer path is what is measured.
+// ---------------------------------------------------------------------
+
+/** Self-rescheduling chain: the pure schedule+fire cost. */
+struct Chain
+{
+    EventQueue *eq;
+    std::uint64_t *remaining;
+    Tick stride;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        eq->schedule(eq->now() + stride, Chain{eq, remaining, stride});
+    }
+};
+
+/** Chain with randomized delays: exercises heap reordering. */
+struct RandomChain
+{
+    EventQueue *eq;
+    std::uint64_t *remaining;
+    Rng rng;
+
+    void
+    operator()()
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        const Tick d = 1 + rng.nextBounded(200);
+        eq->schedule(eq->now() + d, RandomChain{eq, remaining, rng});
+    }
+};
+
+struct Noop
+{
+    void operator()() const {}
+};
+
+/** Chain that also schedules-and-cancels a shadow event every step. */
+struct CancelChain
+{
+    EventQueue *eq;
+    std::uint64_t *remaining;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        EventHandle h = eq->schedule(eq->now() + 7, Noop{});
+        h.cancel();
+        eq->schedule(eq->now() + 3, CancelChain{eq, remaining});
+    }
+};
+
+template <typename Seed>
+Row
+runMicro(const std::string &name, std::uint64_t events, int actors,
+         int repeat, Seed seedOne)
+{
+    Row best;
+    best.name = name;
+    for (int r = 0; r < repeat; ++r) {
+        EventQueue eq;
+        std::uint64_t remaining = events;
+        for (int a = 0; a < actors; ++a)
+            seedOne(eq, remaining, a);
+        const double t0 = nowSeconds();
+        eq.run();
+        const double dt = nowSeconds() - t0;
+        if (r == 0 || dt < best.wallSeconds) {
+            best.events = eq.eventsExecuted();
+            best.wallSeconds = dt;
+        }
+    }
+    best.eventsPerSec =
+        static_cast<double>(best.events) / best.wallSeconds;
+    return best;
+}
+
+Row
+runWorkload(const std::string &name, const core::AppFactory &factory,
+            core::Mechanism mech, double crossBytesPerCycle)
+{
+    core::RunSpec spec;
+    spec.mechanism = mech;
+    spec.crossTraffic.bytesPerCycle = crossBytesPerCycle;
+    const double t0 = nowSeconds();
+    const auto res = core::runApp(factory, spec);
+    Row row;
+    row.name = name;
+    row.wallSeconds = nowSeconds() - t0;
+    row.events = res.simEvents;
+    row.eventsPerSec =
+        static_cast<double>(res.simEvents) / row.wallSeconds;
+    row.runtimeCycles = res.runtimeCycles;
+    return row;
+}
+
+// ---------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------
+
+std::string
+cpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto pos = line.find("model name");
+        if (pos != std::string::npos) {
+            const auto colon = line.find(':');
+            if (colon != std::string::npos)
+                return line.substr(line.find_first_not_of(" \t",
+                                                          colon + 1));
+        }
+    }
+    return "unknown";
+}
+
+exp::Json
+machineMeta()
+{
+    auto m = exp::Json::object();
+    m.set("cpu", cpuModel());
+#if defined(__unix__)
+    utsname u{};
+    if (uname(&u) == 0) {
+        m.set("os", std::string(u.sysname) + " " + u.release);
+        m.set("arch", u.machine);
+        m.set("host", u.nodename);
+    }
+    m.set("hw_threads",
+          static_cast<std::int64_t>(sysconf(_SC_NPROCESSORS_ONLN)));
+#endif
+    return m;
+}
+
+exp::Json
+buildMeta()
+{
+    auto b = exp::Json::object();
+    b.set("compiler", __VERSION__);
+#ifdef ALEWIFE_BUILD_TYPE
+    b.set("build_type", ALEWIFE_BUILD_TYPE);
+#else
+    b.set("build_type", "unknown");
+#endif
+#ifdef NDEBUG
+    b.set("assertions", false);
+#else
+    b.set("assertions", true);
+#endif
+    return b;
+}
+
+std::string
+isoTimestamp()
+{
+    char buf[64];
+    const std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    const bool quick = scale == bench::Scale::Quick;
+    std::string out = "BENCH_kernel.json";
+    int repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--out" && i + 1 < argc)
+            out = argv[i + 1];
+        if (std::string(argv[i]) == "--repeat" && i + 1 < argc)
+            repeat = std::max(1, std::atoi(argv[i + 1]));
+    }
+
+    const std::uint64_t microEvents = quick ? 200'000 : 4'000'000;
+    std::vector<Row> rows;
+
+    std::printf("PERF: simulation-kernel benchmark (%s scale)\n\n",
+                quick ? "quick" : "default");
+
+    // --- microbenches ---
+    rows.push_back(runMicro(
+        "eq_chain", microEvents, 64, repeat,
+        [](EventQueue &eq, std::uint64_t &remaining, int a) {
+            eq.schedule(static_cast<Tick>(a + 1),
+                        Chain{&eq, &remaining,
+                              static_cast<Tick>(5 + a % 7)});
+        }));
+    rows.push_back(runMicro(
+        "eq_random", microEvents, 64, repeat,
+        [](EventQueue &eq, std::uint64_t &remaining, int a) {
+            eq.schedule(static_cast<Tick>(a + 1),
+                        RandomChain{&eq, &remaining,
+                                    Rng(42 + static_cast<unsigned>(a))});
+        }));
+    rows.push_back(runMicro(
+        "eq_cancel_churn", microEvents / 2, 64, repeat,
+        [](EventQueue &eq, std::uint64_t &remaining, int a) {
+            eq.schedule(static_cast<Tick>(a + 1),
+                        CancelChain{&eq, &remaining});
+        }));
+
+    // --- standard workload bundle ---
+    rows.push_back(runWorkload(
+        "em3d_sm", apps::Em3d::factory(bench::em3dParams(scale)),
+        core::Mechanism::SharedMemory, 0.0));
+    rows.push_back(runWorkload(
+        "iccg_sm", apps::Iccg::factory(bench::iccgParams(scale)),
+        core::Mechanism::SharedMemory, 0.0));
+    // One Figure-8 column: EM3D under cross-traffic consuming 8 B/cyc
+    // of the native 18 B/cyc bisection, SM and MP-interrupt.
+    const auto fig08Params = bench::em3dParams(bench::Scale::Quick);
+    rows.push_back(runWorkload(
+        "fig08_em3d_sm", apps::Em3d::factory(fig08Params),
+        core::Mechanism::SharedMemory, 8.0));
+    rows.push_back(runWorkload(
+        "fig08_em3d_mpi", apps::Em3d::factory(fig08Params),
+        core::Mechanism::MpInterrupt, 8.0));
+
+    // --- report ---
+    std::printf("%-18s %12s %10s %14s %14s\n", "benchmark", "events",
+                "wall (s)", "events/sec", "cycles");
+    for (const auto &r : rows) {
+        std::printf("%-18s %12llu %10.3f %14.0f %14.0f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.events),
+                    r.wallSeconds, r.eventsPerSec, r.runtimeCycles);
+    }
+
+    auto doc = exp::Json::object();
+    doc.set("schema_version", 1);
+    doc.set("benchmark", "perf_kernel");
+    doc.set("mode", quick ? "quick" : "default");
+    doc.set("generated_at", isoTimestamp());
+    doc.set("repeat", repeat);
+    doc.set("machine", machineMeta());
+    doc.set("build", buildMeta());
+    auto arr = exp::Json::array();
+    for (const auto &r : rows) {
+        auto o = exp::Json::object();
+        o.set("name", r.name);
+        o.set("events", r.events);
+        o.set("wall_seconds", r.wallSeconds);
+        o.set("events_per_sec", r.eventsPerSec);
+        if (r.runtimeCycles > 0.0)
+            o.set("runtime_cycles", r.runtimeCycles);
+        arr.push(std::move(o));
+    }
+    doc.set("results", std::move(arr));
+
+    std::ofstream f(out);
+    f << doc.dump(2) << '\n';
+    if (!f) {
+        std::fprintf(stderr, "perf_kernel: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", out.c_str());
+    return 0;
+}

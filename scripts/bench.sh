@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproducible kernel-benchmark protocol: configure a dedicated Release
+# build tree, build the simulator, run bench/perf_kernel, and refresh
+# BENCH_kernel.json at the repo root (the tracked perf trajectory —
+# commit the refreshed file with any PR that touches the kernel).
+#
+# Usage: scripts/bench.sh [--quick] [--repeat N]
+#   extra arguments are forwarded to perf_kernel
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BUILD=build-bench
+
+printf '=== configure + build (Release, %s) ===\n' "$BUILD"
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j "$JOBS" --target perf_kernel
+
+printf '\n=== perf_kernel ===\n'
+"./$BUILD/bench/perf_kernel" --out BENCH_kernel.json "$@"

@@ -10,6 +10,16 @@
 
 namespace alewife::coh {
 
+// The protocol hot path schedules lambdas capturing [this, bool, ProtoMsg
+// by value]; they must fit the event queue's inline callback buffer or
+// every protocol message would silently fall back to a heap allocation.
+static_assert(
+    EventFn::fitsInline<decltype([p = static_cast<void *>(nullptr),
+                                  ex = false, m = ProtoMsg{}]() mutable {
+        (void)p, (void)ex, (void)m;
+    })>(),
+    "ProtoMsg capture exceeds kEventCallbackBytes; bump the constant");
+
 CoherenceController::CoherenceController(
     NodeId self, EventQueue &eq, const MachineConfig &cfg,
     mem::AddressSpace &mem, mem::Cache &cache, proc::PrefetchBuffer &pfb,

@@ -18,6 +18,14 @@ Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg) : eq_(eq), cfg_(cfg)
     hopTicks_ = cyclesToTicks(cfg.hopCycles());
     fixedTicks_ = cyclesToTicks(cfg.netFixedCycles());
     retryTicks_ = cyclesToTicks(cfg.niRetryCycles);
+    idealTicks_ = cyclesToTicks(cfg.idealNetLatencyCycles);
+    // Memoize serialization times for every packet size up to 4 KiB
+    // (covers all protocol/AM/DMA packets; larger sizes fall back to
+    // the exact formula). Filled with the exact per-call computation so
+    // lookups are bit-identical to the pre-memo behavior.
+    serTable_.resize(4096);
+    for (std::uint32_t b = 0; b < serTable_.size(); ++b)
+        serTable_[b] = serializationTicksExact(b);
 }
 
 void
@@ -27,10 +35,18 @@ Mesh::setSink(NodeId node, Sink sink)
 }
 
 Tick
-Mesh::serializationTicks(std::uint32_t bytes) const
+Mesh::serializationTicksExact(std::uint32_t bytes) const
 {
     return cyclesToTicks(static_cast<double>(bytes)
                          / cfg_.linkBytesPerCycle());
+}
+
+Tick
+Mesh::serializationTicks(std::uint32_t bytes) const
+{
+    if (bytes < serTable_.size())
+        return serTable_[bytes];
+    return serializationTicksExact(bytes);
 }
 
 void
@@ -71,7 +87,7 @@ Mesh::linkIndex(int x, int y, int nx, int ny) const
 }
 
 void
-Mesh::route(NodeId src, NodeId dst, std::vector<int> &links) const
+Mesh::route(NodeId src, NodeId dst, RouteBuf &links) const
 {
     links.clear();
     int x = src % cfg_.meshX;
@@ -120,7 +136,7 @@ Mesh::send(std::unique_ptr<Packet> pkt)
 
     if (cfg_.idealNet) {
         // Uniform latency, infinite bandwidth, no contention.
-        const Tick arrive = now + cyclesToTicks(cfg_.idealNetLatencyCycles);
+        const Tick arrive = now + idealTicks_;
         auto *raw = pkt.release();
         eq_.schedule(arrive, [this, raw]() {
             deliver(std::unique_ptr<Packet>(raw), -1);
@@ -173,7 +189,8 @@ Mesh::send(std::unique_ptr<Packet> pkt)
 void
 Mesh::deliver(std::unique_ptr<Packet> pkt, int finalLink)
 {
-    Sink &sink = sinks_.at(pkt->dst);
+    // dst was validated by route() at injection; plain indexing here.
+    Sink &sink = sinks_[static_cast<std::size_t>(pkt->dst)];
     if (!sink)
         ALEWIFE_PANIC("no sink registered for node ", pkt->dst);
     if (sink(*pkt)) {

@@ -30,6 +30,7 @@
 #include "net/packet.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/small_vec.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -86,6 +87,13 @@ class Mesh
     /** Number of hops a packet from @p a to @p b traverses. */
     int hopCount(NodeId a, NodeId b) const;
 
+    /**
+     * Ticks a packet of @p bytes occupies one link. Memoized for
+     * common sizes; bit-identical to computing
+     * cyclesToTicks(bytes / linkBytesPerCycle()) directly.
+     */
+    Tick serializationTicks(std::uint32_t bytes) const;
+
     /** Observer notified on packet injection/delivery; may be null. */
     void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
 
@@ -98,6 +106,13 @@ class Mesh
     void setHopJitter(double frac, std::uint64_t seed);
 
     const MachineConfig &config() const { return cfg_; }
+
+    /**
+     * Route scratch type: a route is at most meshX + meshY link
+     * indices, so meshes up to 64 hops across stay in inline storage;
+     * larger ones spill once and then reuse the allocation.
+     */
+    using RouteBuf = sim::SmallVec<int, 64>;
 
   private:
     /** One unidirectional link. */
@@ -112,12 +127,13 @@ class Mesh
     int linkIndex(int x, int y, int nx, int ny) const;
 
     /** Compute the XY route; fills @p links with link indices in order. */
-    void route(NodeId src, NodeId dst, std::vector<int> &links) const;
+    void route(NodeId src, NodeId dst, RouteBuf &links) const;
 
     /** Schedule delivery (and retry-on-reject) of an arrived packet. */
     void deliver(std::unique_ptr<Packet> pkt, int finalLink);
 
-    Tick serializationTicks(std::uint32_t bytes) const;
+    /** The un-memoized serialization formula (table fill + fallback). */
+    Tick serializationTicksExact(std::uint32_t bytes) const;
 
     /** Per-hop latency, jittered when hop jitter is enabled. */
     Tick hopLatency();
@@ -135,10 +151,18 @@ class Mesh
     Tick hopTicks_;
     Tick fixedTicks_;
     Tick retryTicks_;
+    Tick idealTicks_;
+    /**
+     * serializationTicks() memo for common packet sizes, computed once
+     * with the exact per-call formula (tests/net/serialization_ticks
+     * pins the agreement) so the per-packet double division is gone
+     * from the hot path.
+     */
+    std::vector<Tick> serTable_;
     check::Hooks *hooks_ = nullptr;
     double jitterFrac_ = 0.0;
     Rng jitterRng_{0};
-    mutable std::vector<int> scratchLinks_;
+    mutable RouteBuf scratchLinks_;
 };
 
 } // namespace alewife::net

@@ -7,35 +7,55 @@
 
 namespace alewife {
 
+namespace detail {
+
+void
+EventPool::addSlab()
+{
+    const auto base =
+        static_cast<std::uint32_t>(slabs.size()) * kSlabSlots;
+    slabs.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    // Chain the fresh slots onto the free list, last-first so slot
+    // `base` is handed out next (keeps low indices hot).
+    for (std::uint32_t i = kSlabSlots; i-- > 0;) {
+        Slot &s = slot(base + i);
+        s.nextFree = freeHead;
+        freeHead = base + i;
+    }
+}
+
+} // namespace detail
+
 bool
 EventHandle::pending() const
 {
-    return state_ && !state_->cancelled && !state_->fired;
+    detail::EventPool *pool = pool_.get();
+    return pool && pool->queueAlive && pool->slot(idx_).gen == gen_;
 }
 
 void
 EventHandle::cancel()
 {
-    if (state_)
-        state_->cancelled = true;
+    detail::EventPool *pool = pool_.get();
+    if (pool && pool->queueAlive && pool->slot(idx_).gen == gen_)
+        pool->release(idx_); // stale heap entry is skipped on pop
 }
 
-EventHandle
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::EventQueue() : pool_(detail::PoolRef(new detail::EventPool))
 {
-    if (when < now_)
-        ALEWIFE_PANIC("event scheduled in the past: ", when, " < ", now_);
-    auto state = std::make_shared<EventHandle::State>();
-    state->fn = std::move(fn);
-    // Same-tick events scheduled at now() keep FIFO order (they must run
-    // after already-queued same-tick events), so only future events get a
-    // random priority.
-    std::uint64_t pri = 0;
-    if (tieBreak_)
-        pri = (when == now_) ? std::numeric_limits<std::uint64_t>::max()
-                             : rng_.next();
-    heap_.push(Entry{when, pri, seq_++, state});
-    return EventHandle(state);
+}
+
+EventQueue::~EventQueue()
+{
+    // Outstanding handles keep the pool's memory alive (via their
+    // refcount) but must see their events as dead from here on.
+    pool_->queueAlive = false;
+}
+
+void
+EventQueue::panicScheduledPast(Tick when) const
+{
+    ALEWIFE_PANIC("event scheduled in the past: ", when, " < ", now_);
 }
 
 void
@@ -45,27 +65,29 @@ EventQueue::setTieBreak(std::uint64_t seed)
     rng_ = Rng(seed);
 }
 
-EventHandle
-EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
-{
-    return schedule(now_ + delay, std::move(fn));
-}
-
 bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
+        const Entry e = heap_.top();
         heap_.pop();
-        if (e.state->cancelled)
-            continue;
+        detail::EventPool::Slot &slot = pool_->slot(e.idx);
+        if (slot.gen != e.gen)
+            continue; // cancelled
         now_ = e.when;
-        e.state->fired = true;
         ++executed_;
-        // Move the function out so the state can be released even if the
-        // callback schedules more events.
-        auto fn = std::move(e.state->fn);
-        fn();
+        // Bump the generation before invoking: every outstanding handle
+        // (including the event's own — self-cancellation is a no-op)
+        // and stale heap entry is dead from here on. The callback runs
+        // in place in its slot, which is pushed back on the free list
+        // only afterwards, so it cannot be handed out mid-execution.
+        // Slot addresses are stable across addSlab, so `slot` stays
+        // valid even if the callback grows the pool.
+        ++slot.gen;
+        slot.fn();
+        slot.fn.reset();
+        slot.nextFree = pool_->freeHead;
+        pool_->freeHead = e.idx;
         if (hooks_)
             hooks_->onEventExecuted(now_);
         return true;
@@ -86,7 +108,7 @@ EventQueue::runUntil(Tick limit)
 {
     while (!heap_.empty()) {
         // Skip over cancelled entries without advancing time.
-        if (heap_.top().state->cancelled) {
+        if (!entryLive(heap_.top())) {
             heap_.pop();
             continue;
         }
@@ -100,15 +122,8 @@ EventQueue::runUntil(Tick limit)
 bool
 EventQueue::empty() const
 {
-    // Cheap check: cancelled-only heaps still report non-empty; callers that
-    // need exactness should use runUntil(). This is only used by tests.
-    auto copy = heap_;
-    while (!copy.empty()) {
-        if (!copy.top().state->cancelled)
-            return false;
-        copy.pop();
-    }
-    return true;
+    // Only used by tests; a linear scan over queued entries is fine.
+    return !heap_.any([this](const Entry &e) { return entryLive(e); });
 }
 
 } // namespace alewife

@@ -7,6 +7,21 @@
  * Events may be cancelled after scheduling (used by the processor model to
  * push back a pending resume when an interrupt handler steals cycles).
  *
+ * The hot path is allocation-free in steady state. Callbacks are stored
+ * in sim::InlineFn (no std::function heap capture), event state lives in
+ * a slab-allocated free-list pool owned by the queue, and ordering is
+ * kept by a sim::RadixQueue of trivially-copyable POD entries (O(1)
+ * comparison-free insertion; see radix_queue.hh for why a binary heap
+ * is the wrong structure here) — so schedule/fire/cancel recycle memory
+ * instead of touching the allocator. Handles address their event as
+ * (pool, slot index, generation): releasing a slot bumps its generation,
+ * which invalidates every outstanding handle and stale heap entry for
+ * the old event in one increment. The pool is kept alive by a
+ * non-atomic intrusive refcount (queue + handles — the queue and its
+ * handles are single-threaded by design, like the rest of a simulated
+ * machine), so a handle may outlive its queue: it then reports
+ * not-pending and cancel() is a no-op.
+ *
  * Schedule perturbation (setTieBreak): for fuzzing, same-tick events
  * scheduled for the *future* can be ordered by a seeded random priority
  * instead of insertion order. Events scheduled at the current tick keep
@@ -22,11 +37,13 @@
 #define ALEWIFE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/inline_fn.hh"
+#include "sim/radix_queue.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -37,7 +54,150 @@ class Hooks;
 namespace alewife {
 
 /**
- * Handle to a scheduled event. Cancelling a dead handle is a no-op.
+ * Inline capture capacity of an event callback, in bytes. Sized so the
+ * largest hot-path capture — a coherence lambda holding a ProtoMsg by
+ * value — stays inline (coherence.cc asserts this at compile time).
+ */
+inline constexpr std::size_t kEventCallbackBytes = 104;
+
+/** Callback type scheduled on the EventQueue. */
+using EventFn = sim::InlineFn<kEventCallbackBytes>;
+
+namespace detail {
+
+/**
+ * Slab-allocated free-list pool of event state, refcounted by one
+ * EventQueue plus any outstanding EventHandles (non-atomic: a queue
+ * and its handles live on one thread).
+ *
+ * A slot's generation counter is bumped every time the slot is
+ * released; a handle or heap entry is live iff its recorded generation
+ * still matches. Slabs are never freed, so slot addresses are stable
+ * and steady-state scheduling never allocates.
+ */
+struct EventPool
+{
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+    static constexpr std::uint32_t kSlabBits = 8;
+    static constexpr std::uint32_t kSlabSlots = 1u << kSlabBits;
+
+    struct Slot
+    {
+        EventFn fn;
+        std::uint64_t gen = 0;
+        std::uint32_t nextFree = kNone;
+    };
+
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    std::uint32_t freeHead = kNone;
+    /** Intrusive refcount: the owning queue plus live handles. */
+    std::uint32_t refs = 0;
+    /** Cleared by ~EventQueue; dangling handles check it first. */
+    bool queueAlive = true;
+
+    Slot &
+    slot(std::uint32_t idx)
+    {
+        return slabs[idx >> kSlabBits][idx & (kSlabSlots - 1)];
+    }
+
+    const Slot &
+    slot(std::uint32_t idx) const
+    {
+        return slabs[idx >> kSlabBits][idx & (kSlabSlots - 1)];
+    }
+
+    /** Pop a free slot, growing by one slab when exhausted. */
+    std::uint32_t
+    allocate()
+    {
+        if (freeHead == kNone)
+            addSlab();
+        const std::uint32_t idx = freeHead;
+        freeHead = slot(idx).nextFree;
+        return idx;
+    }
+
+    /** Destroy the slot's callback and invalidate all references. */
+    void
+    release(std::uint32_t idx)
+    {
+        Slot &s = slot(idx);
+        s.fn.reset();
+        ++s.gen;
+        s.nextFree = freeHead;
+        freeHead = idx;
+    }
+
+    void addSlab();
+};
+
+/**
+ * Non-atomic intrusive smart pointer to an EventPool. Dropping the
+ * last reference deletes the pool; copies cost a plain increment, so
+ * handle creation on the schedule() hot path stays a few instructions.
+ */
+class PoolRef
+{
+  public:
+    PoolRef() = default;
+
+    explicit PoolRef(EventPool *p) : p_(p) { acquire(); }
+
+    PoolRef(const PoolRef &o) : p_(o.p_) { acquire(); }
+
+    PoolRef(PoolRef &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    PoolRef &
+    operator=(const PoolRef &o)
+    {
+        if (this != &o) {
+            release();
+            p_ = o.p_;
+            acquire();
+        }
+        return *this;
+    }
+
+    PoolRef &
+    operator=(PoolRef &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~PoolRef() { release(); }
+
+    EventPool *get() const { return p_; }
+    EventPool *operator->() const { return p_; }
+
+  private:
+    void
+    acquire()
+    {
+        if (p_)
+            ++p_->refs;
+    }
+
+    void
+    release()
+    {
+        if (p_ && --p_->refs == 0)
+            delete p_;
+    }
+
+    EventPool *p_ = nullptr;
+};
+
+} // namespace detail
+
+/**
+ * Handle to a scheduled event. Copyable; copies refer to the same
+ * event. Cancelling a dead handle is a no-op.
  */
 class EventHandle
 {
@@ -53,16 +213,15 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct State
+    EventHandle(const detail::PoolRef &pool, std::uint32_t idx,
+                std::uint64_t gen)
+        : pool_(pool), idx_(idx), gen_(gen)
     {
-        std::function<void()> fn;
-        bool cancelled = false;
-        bool fired = false;
-    };
+    }
 
-    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-
-    std::shared_ptr<State> state_;
+    detail::PoolRef pool_;
+    std::uint32_t idx_ = 0;
+    std::uint64_t gen_ = 0;
 };
 
 /**
@@ -71,7 +230,8 @@ class EventHandle
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -80,14 +240,45 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute time @p when.
+     *
+     * The callable is constructed directly inside a pooled event slot
+     * (no temporary EventFn, no relocate) — together with the inline
+     * definition this keeps the steady-state schedule path free of
+     * allocation and indirect calls.
+     *
      * @pre when >= now() — enforced: scheduling in the past is a
      *      simulator bug and panics (when == now() is allowed; the
      *      event runs after already-queued same-tick events).
      */
-    EventHandle schedule(Tick when, std::function<void()> fn);
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventHandle
+    schedule(Tick when, F &&fn)
+    {
+        const std::uint32_t idx = allocateChecked(when);
+        detail::EventPool::Slot &slot = pool_->slot(idx);
+        slot.fn = std::forward<F>(fn);
+        return pushEntry(when, idx, slot.gen);
+    }
+
+    /** Overload for an already-built EventFn (moved into the slot). */
+    EventHandle
+    schedule(Tick when, EventFn fn)
+    {
+        const std::uint32_t idx = allocateChecked(when);
+        detail::EventPool::Slot &slot = pool_->slot(idx);
+        slot.fn = std::move(fn);
+        return pushEntry(when, idx, slot.gen);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    EventHandle scheduleIn(Tick delay, std::function<void()> fn);
+    template <typename F>
+    EventHandle
+    scheduleIn(Tick delay, F &&fn)
+    {
+        return schedule(now_ + delay, std::forward<F>(fn));
+    }
 
     /** Run until the queue is empty. Returns final time. */
     Tick run();
@@ -121,29 +312,52 @@ class EventQueue
     void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
 
   private:
+    /** Queue entry: trivially copyable, moves are plain word copies. */
     struct Entry
     {
         Tick when;
         std::uint64_t pri; ///< tie-break priority; 0 when unperturbed
         std::uint64_t seq;
-        std::shared_ptr<EventHandle::State> state;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.pri != b.pri)
-                return a.pri > b.pri;
-            return a.seq > b.seq;
-        }
+        std::uint64_t gen;
+        std::uint32_t idx;
     };
 
     /** Pop and run the next live event; returns false if none. */
     bool step();
+
+    /** Past-scheduling precondition check + slot allocation. */
+    std::uint32_t
+    allocateChecked(Tick when)
+    {
+        if (when < now_) [[unlikely]]
+            panicScheduledPast(when);
+        return pool_->allocate();
+    }
+
+    /** Heap insertion + handle construction shared by schedule(). */
+    EventHandle
+    pushEntry(Tick when, std::uint32_t idx, std::uint64_t gen)
+    {
+        // Same-tick events scheduled at now() keep FIFO order (they
+        // must run after already-queued same-tick events), so only
+        // future events get a random priority.
+        std::uint64_t pri = 0;
+        if (tieBreak_)
+            pri = (when == now_)
+                      ? std::numeric_limits<std::uint64_t>::max()
+                      : rng_.next();
+        heap_.push(Entry{when, pri, seq_++, gen, idx});
+        return EventHandle(pool_, idx, gen);
+    }
+
+    [[noreturn]] void panicScheduledPast(Tick when) const;
+
+    /** True if @p e still refers to a scheduled, uncancelled event. */
+    bool
+    entryLive(const Entry &e) const
+    {
+        return pool_->slot(e.idx).gen == e.gen;
+    }
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
@@ -151,7 +365,8 @@ class EventQueue
     bool tieBreak_ = false;
     Rng rng_{0};
     check::Hooks *hooks_ = nullptr;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    detail::PoolRef pool_;
+    sim::RadixQueue<Entry> heap_;
 };
 
 } // namespace alewife

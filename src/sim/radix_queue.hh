@@ -1,0 +1,235 @@
+/**
+ * @file
+ * RadixQueue: a monotone integer priority queue for event scheduling.
+ *
+ * A comparison-based binary heap spends most of an event-queue pop on
+ * branch mispredictions: with interleaved deadlines every comparison
+ * during sift-down is a coin flip, which costs ~60 ns per event at
+ * typical queue depths. A discrete-event simulator never needs the
+ * general structure, though — EventQueue::schedule enforces
+ * `when >= now()`, so keys are popped in nondecreasing order. That
+ * monotonicity admits a radix heap: O(1) comparison-free pushes that
+ * bucket an entry by the highest bit in which its tick differs from
+ * the current floor, and amortized-constant pops that redistribute one
+ * bucket only when simulated time advances past the floor.
+ *
+ * Ordering contract: pops ascend in (when, pri, seq). Since `seq` is
+ * unique this is a *total* order, so the pop sequence — and therefore
+ * every simulation result — is bit-identical to what any correct
+ * comparison heap produces, perturbed tie-break priorities included.
+ *
+ * Entries at the floor tick live in a (pri, seq)-sorted ready list and
+ * pop by cursor. One wrinkle: peeking (top) can advance the floor past
+ * now(), and the caller may then legally schedule an event below the
+ * settled floor (e.g. a test scheduling right after runUntil hit its
+ * limit). Those entries go to a side buffer that is scanned linearly —
+ * it is empty in steady state, so the hot path never pays for it.
+ *
+ * @tparam Entry POD with `when` (Tick), `pri`, `seq` (uint64) fields.
+ */
+
+#ifndef ALEWIFE_SIM_RADIX_QUEUE_HH
+#define ALEWIFE_SIM_RADIX_QUEUE_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife::sim {
+
+template <typename Entry>
+class RadixQueue
+{
+  public:
+    RadixQueue()
+    {
+        ready_.reserve(64);
+        for (auto &b : buckets_)
+            b.reserve(16);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Minimum entry by (when, pri, seq). @pre !empty() */
+    const Entry &
+    top()
+    {
+        settle();
+        if (!under_.empty()) [[unlikely]] {
+            const std::size_t m = underMin();
+            if (ready_.size() == head_ || later(ready_[head_], under_[m]))
+                return under_[m];
+        }
+        return ready_[head_];
+    }
+
+    /**
+     * Insert @p e.
+     * @pre e.when >= the `when` of the last popped entry (pushes below
+     *      the *peeked* floor are legal and take the slow side buffer)
+     */
+    void
+    push(const Entry &e)
+    {
+        ++size_;
+        if (e.when < floor_) [[unlikely]] {
+            under_.push_back(e);
+            return;
+        }
+        const unsigned b = bucketOf(e.when);
+        if (b == 0) {
+            // Floor-tick entry: keep the ready list (pri, seq)-sorted.
+            // Appending is the common case — unperturbed events carry
+            // pri 0 and monotone seq, and perturbed at-now events get
+            // max priority — so probe the back before binary-searching.
+            if (ready_.size() == head_ || !priSeqLess(e, ready_.back()))
+                ready_.push_back(e);
+            else
+                ready_.insert(std::upper_bound(ready_.begin()
+                                                   + static_cast<
+                                                       std::ptrdiff_t>(
+                                                       head_),
+                                               ready_.end(), e,
+                                               priSeqLess),
+                              e);
+            return;
+        }
+        buckets_[b - 1].push_back(e);
+        occupied_ |= 1ull << (b - 1);
+    }
+
+    /** Remove the minimum entry. @pre !empty() */
+    void
+    pop()
+    {
+        settle();
+        --size_;
+        if (!under_.empty()) [[unlikely]] {
+            const std::size_t m = underMin();
+            if (ready_.size() == head_
+                || later(ready_[head_], under_[m])) {
+                under_[m] = under_.back();
+                under_.pop_back();
+                return;
+            }
+        }
+        if (++head_ == ready_.size()) {
+            ready_.clear();
+            head_ = 0;
+        }
+    }
+
+    /** True if any queued entry satisfies @p pred. Non-mutating scan. */
+    template <typename Pred>
+    bool
+    any(Pred pred) const
+    {
+        for (std::size_t i = head_; i < ready_.size(); ++i)
+            if (pred(ready_[i]))
+                return true;
+        for (const auto &bucket : buckets_)
+            for (const Entry &e : bucket)
+                if (pred(e))
+                    return true;
+        for (const Entry &e : under_)
+            if (pred(e))
+                return true;
+        return false;
+    }
+
+  private:
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.pri != b.pri)
+            return a.pri > b.pri;
+        return a.seq > b.seq;
+    }
+
+    /** Sort key among same-tick entries. */
+    static bool
+    priSeqLess(const Entry &a, const Entry &b)
+    {
+        if (a.pri != b.pri)
+            return a.pri < b.pri;
+        return a.seq < b.seq;
+    }
+
+    std::size_t
+    underMin() const
+    {
+        std::size_t m = 0;
+        for (std::size_t i = 1; i < under_.size(); ++i)
+            if (later(under_[m], under_[i]))
+                m = i;
+        return m;
+    }
+
+    /**
+     * Refill the ready list from the lowest occupied bucket when it
+     * runs dry: advance the floor to that bucket's minimum tick, move
+     * its floor-tick entries into the ready list (sorted once), and
+     * re-bucket the rest relative to the new floor. Each entry's
+     * bucket index strictly decreases on redistribution, bounding the
+     * total work per entry.
+     */
+    void
+    settle()
+    {
+        if (ready_.size() != head_)
+            return;
+        ready_.clear();
+        head_ = 0;
+        if (occupied_ == 0)
+            return; // empty, or only side-buffer entries
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(occupied_));
+        std::vector<Entry> &src = buckets_[b];
+        Tick min = src[0].when;
+        for (std::size_t i = 1; i < src.size(); ++i)
+            if (src[i].when < min)
+                min = src[i].when;
+        floor_ = min;
+        for (const Entry &e : src) {
+            if (e.when == min) {
+                ready_.push_back(e);
+            } else {
+                const unsigned nb = bucketOf(e.when); // < b + 1, > 0
+                buckets_[nb - 1].push_back(e);
+                occupied_ |= 1ull << (nb - 1);
+            }
+        }
+        src.clear();
+        occupied_ &= ~(1ull << b);
+        std::sort(ready_.begin(), ready_.end(), priSeqLess);
+    }
+
+    /** 0 = floor tick, else 1 + index of the highest differing bit. */
+    unsigned
+    bucketOf(Tick when) const
+    {
+        const Tick x = when ^ floor_;
+        return x == 0
+                   ? 0u
+                   : 64u - static_cast<unsigned>(std::countl_zero(x));
+    }
+
+    Tick floor_ = 0; ///< tick of the ready list
+    std::uint64_t occupied_ = 0; ///< bitmask of non-empty buckets
+    std::size_t size_ = 0;
+    std::size_t head_ = 0; ///< pop cursor into ready_
+    std::vector<Entry> ready_; ///< floor-tick entries, (pri, seq)-sorted
+    std::vector<Entry> buckets_[64];
+    std::vector<Entry> under_; ///< pushed below a peeked floor; rare
+};
+
+} // namespace alewife::sim
+
+#endif // ALEWIFE_SIM_RADIX_QUEUE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pins the memoized Mesh::serializationTicks against the original
+ * per-call formula, cyclesToTicks(bytes / linkBytesPerCycle()), across
+ * representative packet sizes and link-speed configurations. The memo
+ * table must be bit-identical to the formula — any divergence would
+ * silently change every simulated timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace alewife {
+namespace {
+
+/** The pre-memoization formula, verbatim. */
+Tick
+oldFormula(const MachineConfig &cfg, std::uint32_t bytes)
+{
+    return cyclesToTicks(static_cast<double>(bytes)
+                         / cfg.linkBytesPerCycle());
+}
+
+/** Representative sizes: protocol control/header/data packets, AM
+ *  packets, cross-traffic, DMA bulk, and beyond-memo-table sizes. */
+const std::vector<std::uint32_t> kSizes = {
+    0,  1,  7,  8,  15,  16,   24,   32,   64,   65,    100,  128,
+    256, 512, 1000, 1024, 4095, 4096, 4097, 8192, 65536, 100000};
+
+class SerializationTicks
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(SerializationTicks, MemoMatchesOldFormulaExactly)
+{
+    const auto [linkMBps, procMhz] = GetParam();
+    MachineConfig cfg;
+    cfg.linkMBps = linkMBps;
+    cfg.procMhz = procMhz;
+    EventQueue eq;
+    net::Mesh mesh(eq, cfg);
+    for (const std::uint32_t bytes : kSizes) {
+        EXPECT_EQ(mesh.serializationTicks(bytes),
+                  oldFormula(cfg, bytes))
+            << "linkMBps=" << linkMBps << " procMhz=" << procMhz
+            << " bytes=" << bytes;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkSpeeds, SerializationTicks,
+    ::testing::Values(
+        std::make_pair(45.0, 20.0),  // Alewife default
+        std::make_pair(45.0, 14.0),  // Fig. 9 clock scaling
+        std::make_pair(45.0, 100.0), // fast-processor regime
+        std::make_pair(10.0, 20.0),  // slow link
+        std::make_pair(400.0, 20.0), // T3D-class link
+        std::make_pair(33.3, 16.7)), // non-round ratios
+    [](const auto &info) {
+        return "L"
+               + std::to_string(static_cast<int>(info.param.first * 10))
+               + "_P"
+               + std::to_string(
+                   static_cast<int>(info.param.second * 10));
+    });
+
+TEST(SerializationTicks, MonotoneInBytes)
+{
+    MachineConfig cfg;
+    EventQueue eq;
+    net::Mesh mesh(eq, cfg);
+    Tick prev = 0;
+    for (std::uint32_t b = 0; b < 5000; ++b) {
+        const Tick t = mesh.serializationTicks(b);
+        EXPECT_GE(t, prev) << "bytes=" << b;
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace alewife

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the allocation-free kernel hot path: the slab/free-list
+ * event pool, generation-counted handles, the InlineFn small-buffer
+ * callback type, and a determinism regression pinning full-machine
+ * statistics to pre-refactor golden values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "apps/em3d.hh"
+#include "core/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/inline_fn.hh"
+#include "sim/small_vec.hh"
+
+namespace alewife {
+namespace {
+
+// ---------------------------------------------------------------------
+// InlineFn
+// ---------------------------------------------------------------------
+
+TEST(InlineFn, InvokesInlineCapture)
+{
+    int hits = 0;
+    sim::InlineFn<32> fn([&hits]() { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeapAndStillWorks)
+{
+    struct Big
+    {
+        char pad[256];
+    };
+    Big big{};
+    big.pad[0] = 7;
+    char seen = 0;
+    sim::InlineFn<32> fn([big, &seen]() { seen = big.pad[0]; });
+    static_assert(!sim::InlineFn<32>::fitsInline<
+                  std::remove_reference_t<decltype(fn)>>());
+    fn();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipOfCapturedState)
+{
+    auto flag = std::make_shared<int>(0);
+    sim::InlineFn<64> a([flag]() { ++*flag; });
+    EXPECT_EQ(flag.use_count(), 2);
+    sim::InlineFn<64> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(flag.use_count(), 2); // moved, not copied
+    b();
+    EXPECT_EQ(*flag, 1);
+    b.reset();
+    EXPECT_EQ(flag.use_count(), 1); // capture destroyed on reset
+}
+
+TEST(InlineFn, EmptyAfterDefaultConstruction)
+{
+    sim::InlineFn<32> fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    fn.reset(); // no-op, must not crash
+}
+
+// ---------------------------------------------------------------------
+// SmallVec (the mesh route scratch type)
+// ---------------------------------------------------------------------
+
+TEST(SmallVec, StaysInlineUpToCapacityThenSpills)
+{
+    sim::SmallVec<int, 4> v;
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_TRUE(v.inlineStorage());
+    v.push_back(4);
+    EXPECT_FALSE(v.inlineStorage());
+    ASSERT_EQ(v.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, ClearKeepsSpilledCapacity)
+{
+    sim::SmallVec<int, 2> v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(i);
+    const auto cap = v.capacity();
+    v.clear();
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), cap); // no realloc churn on reuse
+    v.push_back(42);
+    EXPECT_EQ(v[0], 42);
+}
+
+// ---------------------------------------------------------------------
+// Event pool semantics
+// ---------------------------------------------------------------------
+
+TEST(EventPool, CancelAfterFireIsNoop)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventHandle h = eq.schedule(10, [&]() { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // slot already recycled; must not disturb anything
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(EventPool, CancelFromInsideCallbackKillsPendingPeer)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventHandle victim = eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(10, [&]() { victim.cancel(); });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.eventsExecuted(), 1u);
+}
+
+TEST(EventPool, SelfCancelInsideCallbackIsNoop)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventHandle h;
+    h = eq.schedule(10, [&]() {
+        ++fired;
+        EXPECT_FALSE(h.pending()); // already counted as fired
+        h.cancel();
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.eventsExecuted(), 1u);
+}
+
+TEST(EventPool, HandleOutlivesQueue)
+{
+    EventHandle pendingAtDeath;
+    EventHandle firedBeforeDeath;
+    {
+        EventQueue eq;
+        firedBeforeDeath = eq.schedule(1, []() {});
+        pendingAtDeath = eq.schedule(100, []() { FAIL(); });
+        eq.runUntil(10);
+    }
+    // The queue (and its pool) are gone: handles must answer safely.
+    EXPECT_FALSE(pendingAtDeath.pending());
+    EXPECT_FALSE(firedBeforeDeath.pending());
+    pendingAtDeath.cancel(); // must not crash
+}
+
+TEST(EventPool, StaleHandleDoesNotAffectSlotReuser)
+{
+    // Fire event A, then schedule B (which recycles A's slot in a
+    // single-event queue). A's stale handle must neither report B as
+    // pending nor cancel it.
+    EventQueue eq;
+    int fired = 0;
+    EventHandle a = eq.schedule(1, [&]() { ++fired; });
+    eq.processOne();
+    EXPECT_FALSE(a.pending());
+    EventHandle b = eq.schedule(2, [&]() { ++fired; });
+    EXPECT_FALSE(a.pending());
+    a.cancel();
+    EXPECT_TRUE(b.pending());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventPool, ReuseUnderChurnStaysCorrect)
+{
+    // Waves of schedule/cancel/fire far exceeding one slab: every wave
+    // recycles the same slots; counts must stay exact and cancelled
+    // events must never fire.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    Tick t = 1;
+    for (int wave = 0; wave < 100; ++wave) {
+        std::vector<EventHandle> handles;
+        for (int i = 0; i < 64; ++i)
+            handles.push_back(
+                eq.schedule(t + static_cast<Tick>(i), [&]() { ++fired; }));
+        for (int i = 0; i < 64; i += 2)
+            handles[static_cast<std::size_t>(i)].cancel();
+        eq.run();
+        for (const auto &h : handles)
+            EXPECT_FALSE(h.pending());
+        t = eq.now() + 1;
+    }
+    EXPECT_EQ(fired, 100u * 32u);
+    EXPECT_EQ(eq.eventsExecuted(), 100u * 32u);
+}
+
+TEST(EventPool, CallbackSchedulingIntoRecycledSlotKeepsOrder)
+{
+    // A callback that schedules its successor immediately reuses the
+    // slot just vacated; ordering and counts must be unaffected.
+    EventQueue eq;
+    std::vector<Tick> at;
+    struct Step
+    {
+        EventQueue *eq;
+        std::vector<Tick> *at;
+        int left;
+        void
+        operator()() const
+        {
+            at->push_back(eq->now());
+            if (left > 0)
+                eq->schedule(eq->now() + 5, Step{eq, at, left - 1});
+        }
+    };
+    eq.schedule(5, Step{&eq, &at, 9});
+    eq.run();
+    ASSERT_EQ(at.size(), 10u);
+    for (std::size_t i = 0; i < at.size(); ++i)
+        EXPECT_EQ(at[i], 5 * (i + 1));
+}
+
+// ---------------------------------------------------------------------
+// Determinism regression: full-machine statistics must be bit-identical
+// to the pre-refactor kernel (goldens recorded from the std::function +
+// shared_ptr implementation at the same seeds).
+// ---------------------------------------------------------------------
+
+struct Golden
+{
+    core::Mechanism mech;
+    bool perturb;
+    std::uint64_t simEvents;
+    double runtimeCycles;
+    double checksum;
+    std::uint64_t volume;
+    std::uint64_t cacheHits;
+};
+
+core::RunResult
+runGolden(const Golden &g)
+{
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    apps::Em3d app(p);
+    core::RunSpec spec;
+    spec.mechanism = g.mech;
+    if (g.perturb) {
+        spec.perturb.tieBreak = true;
+        spec.perturb.seed = 12345;
+    }
+    return core::runApp(app, spec);
+}
+
+class KernelGolden : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(KernelGolden, StatsBitIdenticalToPreRefactorKernel)
+{
+    const Golden &g = GetParam();
+    const auto r = runGolden(g);
+    EXPECT_EQ(r.simEvents, g.simEvents);
+    EXPECT_EQ(r.runtimeCycles, g.runtimeCycles);
+    EXPECT_EQ(r.checksum, g.checksum);
+    EXPECT_EQ(r.volume.total(), g.volume);
+    EXPECT_EQ(r.counters.cacheHits, g.cacheHits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PreRefactorGoldens, KernelGolden,
+    ::testing::Values(
+        Golden{core::Mechanism::SharedMemory, false, 18925,
+               11599.190000000001, 390.53411890422058, 84960, 7118},
+        Golden{core::Mechanism::SharedMemory, true, 18925,
+               11587.620000000001, 390.53411890422058, 84960, 7118},
+        Golden{core::Mechanism::MpInterrupt, false, 2992, 5662.79,
+               390.53411890422069, 19056, 0},
+        Golden{core::Mechanism::MpInterrupt, true, 3009, 5726.79,
+               390.53411890422069, 19056, 0},
+        Golden{core::Mechanism::BulkTransfer, false, 3413,
+               7016.3800000000001, 390.53411890422069, 24096, 0}),
+    [](const auto &info) {
+        const Golden &g = info.param;
+        std::string n =
+            g.mech == core::Mechanism::SharedMemory    ? "SM"
+            : g.mech == core::Mechanism::MpInterrupt   ? "MPI"
+                                                       : "BULK";
+        return n + (g.perturb ? "_perturbed" : "_plain");
+    });
+
+} // namespace
+} // namespace alewife
