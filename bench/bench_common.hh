@@ -32,6 +32,7 @@
 #include "core/experiments.hh"
 #include "core/report.hh"
 #include "exp/result_cache.hh"
+#include "obs/options.hh"
 
 namespace alewife::bench {
 
@@ -173,6 +174,16 @@ allMechs()
  * and hands each bench per-app exp::EngineOptions via options(). The
  * cache key includes the workload identity (app name + scale), so
  * --quick and --full runs never collide.
+ *
+ * Observability flags ride along on every bench:
+ *
+ *   --trace-out F     Perfetto/Chrome timeline JSON per run
+ *   --metrics-out F   metrics-registry JSON (sweep-merged per app)
+ *   --obs-interval C  interval-profile sampling period in cycles
+ *
+ * Output paths are tagged per app (obs::withPathTag with the app
+ * name), and the sweep engine tags them again per run, so a bench
+ * spanning four apps with parallel jobs never shares a sink.
  */
 class BenchEngine
 {
@@ -183,9 +194,17 @@ class BenchEngine
         jobs_ = 1;
         if (const char *env = std::getenv("ALEWIFE_JOBS"))
             jobs_ = std::max(1, std::atoi(env));
-        for (int i = 1; i + 1 < argc; ++i)
+        for (int i = 1; i + 1 < argc; ++i) {
             if (std::strcmp(argv[i], "--jobs") == 0)
                 jobs_ = std::max(1, std::atoi(argv[i + 1]));
+            else if (std::strcmp(argv[i], "--trace-out") == 0)
+                obs_.traceOut = argv[i + 1];
+            else if (std::strcmp(argv[i], "--metrics-out") == 0)
+                obs_.metricsOut = argv[i + 1];
+            else if (std::strcmp(argv[i], "--obs-interval") == 0)
+                obs_.intervalCycles =
+                    std::max(0.0, std::atof(argv[i + 1]));
+        }
     }
 
     /** Engine options for one app's runs; @p appName keys the cache. */
@@ -197,6 +216,18 @@ class BenchEngine
         if (!cache_.dir().empty()) {
             opts.cache = &cache_;
             opts.appKey = appName + "/" + scaleName(scale_);
+        }
+        if (obs_.any()) {
+            opts.obs = obs_;
+            if (!opts.obs.traceOut.empty())
+                opts.obs.traceOut =
+                    obs::withPathTag(opts.obs.traceOut, appName);
+            if (!opts.obs.metricsOut.empty())
+                opts.obs.metricsOut =
+                    obs::withPathTag(opts.obs.metricsOut, appName);
+            if (!opts.obs.flightOut.empty())
+                opts.obs.flightOut =
+                    obs::withPathTag(opts.obs.flightOut, appName);
         }
         return opts;
     }
@@ -234,6 +265,7 @@ class BenchEngine
     exp::ResultCache cache_;
     Scale scale_;
     int jobs_ = 1;
+    obs::RecorderOptions obs_;
 };
 
 } // namespace alewife::bench

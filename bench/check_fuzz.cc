@@ -35,6 +35,7 @@
 #include "apps/stress.hh"
 #include "check/auditor.hh"
 #include "core/runner.hh"
+#include "obs/recorder.hh"
 
 namespace {
 
@@ -114,6 +115,14 @@ injectBugDemo(std::uint64_t seed)
     check::InvariantAuditor auditor(
         {.abortOnViolation = false, .maxViolations = 8});
     auditor.attach(m);
+    // Ride a flight recorder next to the auditor so the demo also
+    // shows the crash-forensics path: the dump holds the protocol
+    // events leading up to the violation.
+    obs::RecorderOptions ro;
+    ro.flightEvents = 4096;
+    ro.flightOut = "check-fuzz-flight.dump";
+    obs::Recorder rec(ro, m.nodes());
+    rec.attach(m);
     for (int i = 0; i < m.nodes(); ++i) {
         coh::CoherenceController::DebugFaults f;
         f.skipInvalidate = true;
@@ -128,8 +137,11 @@ injectBugDemo(std::uint64_t seed)
         return 1;
     }
     const auto &v = auditor.violations().front();
+    const std::string flightPath = rec.dumpFlight();
     std::cout << "caught: " << v.invariant << " at tick " << v.tick
               << "\n  " << v.detail
+              << "\n  flight recorder dump: " << flightPath << " ("
+              << rec.flight()->size() << " events)"
               << "\n  replay: ./build/bench/check_fuzz --inject-bug"
               << " --seed-base " << seed << '\n';
     return 0;

@@ -26,12 +26,14 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/runner.hh"
 #include "exp/json.hh"
+#include "obs/recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -128,12 +130,23 @@ struct CancelChain
 template <typename Seed>
 Row
 runMicro(const std::string &name, std::uint64_t events, int actors,
-         int repeat, Seed seedOne)
+         int repeat, Seed seedOne, bool withObserver = false)
 {
     Row best;
     best.name = name;
     for (int r = 0; r < repeat; ++r) {
         EventQueue eq;
+        // The attached variant wires an obs::Recorder straight into
+        // the queue: every fired event pays the hook dispatch. The
+        // default (detached) variant is the "near-zero when off"
+        // guard — its cost is the null check eq_chain has always paid.
+        std::optional<obs::Recorder> rec;
+        if (withObserver) {
+            obs::RecorderOptions ro;
+            ro.flightEvents = 4096;
+            rec.emplace(ro, 1);
+            eq.setAuditHooks(&*rec);
+        }
         std::uint64_t remaining = events;
         for (int a = 0; a < actors; ++a)
             seedOne(eq, remaining, a);
@@ -267,6 +280,14 @@ main(int argc, char **argv)
                         Chain{&eq, &remaining,
                               static_cast<Tick>(5 + a % 7)});
         }));
+    rows.push_back(runMicro(
+        "eq_chain_obs", microEvents, 64, repeat,
+        [](EventQueue &eq, std::uint64_t &remaining, int a) {
+            eq.schedule(static_cast<Tick>(a + 1),
+                        Chain{&eq, &remaining,
+                              static_cast<Tick>(5 + a % 7)});
+        },
+        /*withObserver=*/true));
     rows.push_back(runMicro(
         "eq_random", microEvents, 64, repeat,
         [](EventQueue &eq, std::uint64_t &remaining, int a) {

@@ -60,6 +60,7 @@ struct Options
     std::string out;      ///< structured output file; "" = none
     std::string cacheDir; ///< on-disk result cache; "" = no cache
     bool progress = false;
+    obs::RecorderOptions obs; ///< --trace-out/--metrics-out/--obs-interval
 };
 
 std::vector<std::string>
@@ -86,7 +87,13 @@ usage()
            "                 [--jobs n]    (parallel simulations)\n"
            "                 [--out file]  (.csv -> CSV, else JSON)\n"
            "                 [--cache-dir dir]\n"
-           "                 [--progress]\n";
+           "                 [--progress]\n"
+           "                 [--trace-out file.json]   (Perfetto "
+           "timeline, one per run)\n"
+           "                 [--metrics-out file.json] (metrics "
+           "registry; sweep-merged)\n"
+           "                 [--obs-interval cycles]   (interval "
+           "profiling period)\n";
     std::exit(2);
 }
 
@@ -162,6 +169,16 @@ parse(int argc, char **argv)
             o.out = next();
         } else if (a == "--cache-dir") {
             o.cacheDir = next();
+        } else if (a == "--trace-out") {
+            o.obs.traceOut = next();
+        } else if (a == "--metrics-out") {
+            o.obs.metricsOut = next();
+        } else if (a == "--obs-interval") {
+            const std::string v = next();
+            o.obs.intervalCycles = parseNum("--obs-interval", v);
+            if (o.obs.intervalCycles <= 0)
+                badValue("--obs-interval value", v,
+                         "a positive cycle count");
         } else if (a == "--progress") {
             o.progress = true;
         } else if (a == "--help" || a == "-h") {
@@ -253,6 +270,7 @@ main(int argc, char **argv)
         key << o.app << "/scale=" << o.scale;
         opts.appKey = key.str();
     }
+    opts.obs = o.obs;
     if (o.progress) {
         opts.onProgress = [](const exp::Progress &p) {
             std::cerr << "  [" << p.done << "/" << p.queued << "] "

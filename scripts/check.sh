@@ -4,6 +4,7 @@
 #   2. ASan/UBSan build + complete ctest suite
 #   3. TSan build + the parallel-engine suites (exp_test)
 #   4. short check_fuzz corpus (schedule-perturbation + auditor)
+#   5. observability smoke: tiny EM3D sweep with trace + metrics out
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer builds (tier-1 + fuzz corpus only)
@@ -41,5 +42,18 @@ fi
 step "check_fuzz: short corpus"
 ./build/bench/check_fuzz --seeds 4 --ops 100
 ./build/bench/check_fuzz --inject-bug
+
+step "observability smoke: EM3D with trace + metrics"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+./build/examples/sweep_cli --app em3d --mechs SM --sweep none \
+    --scale 0.25 --obs-interval 500 \
+    --trace-out "$OBS_DIR/trace.json" \
+    --metrics-out "$OBS_DIR/metrics.json"
+for f in "$OBS_DIR"/trace-*.json "$OBS_DIR"/metrics.json; do
+    [[ -s "$f" ]] || { echo "obs smoke: missing/empty $f"; exit 1; }
+done
+grep -q '"traceEvents"' "$OBS_DIR"/trace-*.json
+grep -q '"alewife-metrics-sweep"' "$OBS_DIR/metrics.json"
 
 step "all checks passed"

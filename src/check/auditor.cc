@@ -23,25 +23,24 @@ void
 InvariantAuditor::attach(Machine &m)
 {
     machine_ = &m;
-    m.eq().setAuditHooks(this);
-    m.mesh().setAuditHooks(this);
-    for (int i = 0; i < m.nodes(); ++i) {
-        m.cacheAt(i).setAuditHooks(this, i);
-        m.pfbAt(i).setAuditHooks(this, i);
-        m.cohAt(i).setAuditHooks(this);
-    }
+    m.attachHooks(this);
 }
 
 void
 InvariantAuditor::record(const char *invariant, std::string detail)
 {
     const Tick now = machine_ ? machine_->eq().now() : 0;
+    Violation v{invariant, now, std::move(detail)};
+    // Notify before any abort so forensic sinks (the obs flight
+    // recorder) get to dump their window around the failure.
+    if (onViolation_)
+        onViolation_(v);
     if (opts_.abortOnViolation) {
         ALEWIFE_PANIC("invariant violated: ", invariant, " at tick ", now,
-                      ": ", detail);
+                      ": ", v.detail);
     }
     if (viols_.size() < opts_.maxViolations)
-        viols_.push_back(Violation{invariant, now, std::move(detail)});
+        viols_.push_back(std::move(v));
 }
 
 InvariantAuditor::LineState &

@@ -43,6 +43,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -85,6 +86,16 @@ class InvariantAuditor final : public Hooks
 
     /** Wire this auditor into every component of @p m (before run()). */
     void attach(Machine &m);
+
+    /**
+     * Called on every violation, before any abort and before the
+     * collection cap applies. Wiring point for forensic sinks (the obs
+     * flight-recorder dump) without a check -> obs dependency.
+     */
+    void setOnViolation(std::function<void(const Violation &)> fn)
+    {
+        onViolation_ = std::move(fn);
+    }
 
     /** End-of-run checks: global quiescence, conservation, volume. */
     void finalize();
@@ -194,6 +205,7 @@ class InvariantAuditor final : public Hooks
 
     Tick lastEventTick_ = 0;
     std::vector<Violation> viols_;
+    std::function<void(const Violation &)> onViolation_;
 };
 
 } // namespace alewife::check

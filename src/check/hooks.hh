@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace alewife::mem {
@@ -38,6 +39,10 @@ namespace alewife::check {
 
 /**
  * Observer interface over every auditable transition of a Machine.
+ *
+ * Two kinds of consumers exist: check::InvariantAuditor (correctness)
+ * and obs::Recorder (metrics / timelines / flight recording). A
+ * Machine multiplexes several observers through HookFanout below.
  */
 class Hooks
 {
@@ -56,6 +61,45 @@ class Hooks
 
     /** A packet was accepted by its destination sink. */
     virtual void onPacketDelivered(const net::Packet &pkt) { (void)pkt; }
+
+    /**
+     * A packet's head entered one mesh link. @p depart is the tick the
+     * head leaves the link's upstream router; @p waited is how long the
+     * head stalled behind earlier traffic on this link (queueing).
+     */
+    virtual void
+    onHop(const net::Packet &pkt, int link, Tick depart, Tick waited)
+    {
+        (void)pkt, (void)link, (void)depart, (void)waited;
+    }
+
+    // --- proc::Proc (per node) ---
+
+    /**
+     * A contiguous interval of processor time was attributed to one
+     * Figure-4 category (compute burst, memory/NI wait, sync wait...).
+     * Adjacent same-category intervals arrive pre-coalesced.
+     */
+    virtual void
+    onProcSpan(NodeId node, TimeCat cat, Tick start, Tick end)
+    {
+        (void)node, (void)cat, (void)start, (void)end;
+    }
+
+    /**
+     * A handler / interrupt / software trap stole processor cycles:
+     * message handlers, LimitLESS traps, DMA completion.
+     */
+    virtual void onHandlerRun(NodeId node, Tick start, Tick end)
+    {
+        (void)node, (void)start, (void)end;
+    }
+
+    /** One barrier episode of @p node, in node-local time. */
+    virtual void onBarrierEpisode(NodeId node, Tick start, Tick end)
+    {
+        (void)node, (void)start, (void)end;
+    }
 
     // --- mem::Cache (per node) ---
 
@@ -182,6 +226,171 @@ class Hooks
     {
         (void)node, (void)line;
     }
+};
+
+/**
+ * Multiplexes several observers behind one Hooks pointer. A Machine
+ * installs this when more than one observer is attached (e.g. the
+ * invariant auditor plus the obs recorder); observers are notified in
+ * attachment order. With zero or one observer the fanout is bypassed
+ * entirely, so the single-observer cost stays one virtual call and the
+ * detached cost stays one null check.
+ */
+class HookFanout final : public Hooks
+{
+  public:
+    void clear() { obs_.clear(); }
+    void add(Hooks *h) { obs_.push_back(h); }
+    std::size_t size() const { return obs_.size(); }
+
+    void onEventExecuted(Tick now) override
+    {
+        for (Hooks *h : obs_)
+            h->onEventExecuted(now);
+    }
+    void onPacketInjected(const net::Packet &pkt) override
+    {
+        for (Hooks *h : obs_)
+            h->onPacketInjected(pkt);
+    }
+    void onPacketDelivered(const net::Packet &pkt) override
+    {
+        for (Hooks *h : obs_)
+            h->onPacketDelivered(pkt);
+    }
+    void
+    onHop(const net::Packet &pkt, int link, Tick depart,
+          Tick waited) override
+    {
+        for (Hooks *h : obs_)
+            h->onHop(pkt, link, depart, waited);
+    }
+    void
+    onProcSpan(NodeId node, TimeCat cat, Tick start, Tick end) override
+    {
+        for (Hooks *h : obs_)
+            h->onProcSpan(node, cat, start, end);
+    }
+    void onHandlerRun(NodeId node, Tick start, Tick end) override
+    {
+        for (Hooks *h : obs_)
+            h->onHandlerRun(node, start, end);
+    }
+    void onBarrierEpisode(NodeId node, Tick start, Tick end) override
+    {
+        for (Hooks *h : obs_)
+            h->onBarrierEpisode(node, start, end);
+    }
+    void
+    onCacheFill(NodeId node, Addr line, mem::LineState st,
+                const std::vector<std::uint64_t> &words) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheFill(node, line, st, words);
+    }
+    void onCacheEvict(NodeId node, Addr line, bool dirty) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheEvict(node, line, dirty);
+    }
+    void
+    onCacheInvalidate(NodeId node, Addr line, bool wasModified) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheInvalidate(node, line, wasModified);
+    }
+    void onCacheDowngrade(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheDowngrade(node, line);
+    }
+    void onCacheUpgrade(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheUpgrade(node, line);
+    }
+    void onCacheRead(NodeId node, Addr a, std::uint64_t v) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheRead(node, a, v);
+    }
+    void onCacheWrite(NodeId node, Addr a, std::uint64_t v) override
+    {
+        for (Hooks *h : obs_)
+            h->onCacheWrite(node, a, v);
+    }
+    void
+    onPfbInstall(NodeId node, Addr line, mem::LineState st,
+                 const std::vector<std::uint64_t> &words) override
+    {
+        for (Hooks *h : obs_)
+            h->onPfbInstall(node, line, st, words);
+    }
+    void onPfbRemove(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onPfbRemove(node, line);
+    }
+    void onPfbDowngrade(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onPfbDowngrade(node, line);
+    }
+    void
+    onProtoSend(NodeId src, NodeId dst, const coh::ProtoMsg &msg) override
+    {
+        for (Hooks *h : obs_)
+            h->onProtoSend(src, dst, msg);
+    }
+    void onProtoProcess(NodeId at, const coh::ProtoMsg &msg) override
+    {
+        for (Hooks *h : obs_)
+            h->onProtoProcess(at, msg);
+    }
+    void onLocalGrant(NodeId node, Addr line, bool exclusive) override
+    {
+        for (Hooks *h : obs_)
+            h->onLocalGrant(node, line, exclusive);
+    }
+    void onFill(NodeId node, Addr line, bool exclusive) override
+    {
+        for (Hooks *h : obs_)
+            h->onFill(node, line, exclusive);
+    }
+    void onMshrOpen(NodeId node, Addr line, bool exclusive) override
+    {
+        for (Hooks *h : obs_)
+            h->onMshrOpen(node, line, exclusive);
+    }
+    void onMshrClose(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onMshrClose(node, line);
+    }
+    void
+    onTxnOpen(NodeId home, Addr line, const coh::DirTxn &txn) override
+    {
+        for (Hooks *h : obs_)
+            h->onTxnOpen(home, line, txn);
+    }
+    void onTxnClose(NodeId home, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onTxnClose(home, line);
+    }
+    void onRecallStashed(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onRecallStashed(node, line);
+    }
+    void onRecallHonored(NodeId node, Addr line) override
+    {
+        for (Hooks *h : obs_)
+            h->onRecallHonored(node, line);
+    }
+
+  private:
+    std::vector<Hooks *> obs_;
 };
 
 } // namespace alewife::check

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "machine/gallery.hh"
+#include "obs/metrics.hh"
 
 namespace alewife::core {
 
@@ -145,18 +146,20 @@ printTable2(std::ostream &os)
 void
 printCounters(std::ostream &os, const RunResult &r)
 {
-    const MachineCounters &c = r.counters;
-    os << "  [" << mechanismShortName(r.mechanism) << "] packets="
-       << c.packetsInjected << " hits=" << c.cacheHits
-       << " lclMiss=" << c.localMisses << " rmtMiss=" << c.remoteMisses
-       << " invs=" << c.invalidationsSent << " traps="
-       << c.limitlessTraps << " ints=" << c.interruptsTaken
-       << " polled=" << c.messagesPolled << " pf="
-       << c.prefetchesIssued << "/" << c.prefetchesUseful << "u/"
-       << c.prefetchesUseless << "x dma=" << c.dmaTransfers
-       << " locks=" << c.lockAcquires << "+" << c.lockRetries
-       << "r niFull=" << c.niQueueFullStalls << " events="
-       << r.simEvents << '\n';
+    // Ingest the counter block through the same metrics registry the
+    // JSON export uses, so the ASCII names/values and the machine-
+    // readable ones come from one table and cannot disagree.
+    obs::MetricsRegistry reg(1);
+    reg.ingest(r.counters);
+    os << "  [" << mechanismShortName(r.mechanism) << "]";
+    int col = 0;
+    for (const auto &f : machineCounterFields()) {
+        const int id = reg.counterId(std::string("cmmu.") + f.name);
+        if (col++ % 6 == 0 && col > 1)
+            os << "\n       ";
+        os << " " << f.name << "=" << reg.counterTotal(id);
+    }
+    os << " simEvents=" << r.simEvents << '\n';
 }
 
 } // namespace alewife::core

@@ -1,9 +1,11 @@
 #include "core/runner.hh"
 
 #include <cmath>
+#include <iostream>
 #include <optional>
 
 #include "check/auditor.hh"
+#include "obs/recorder.hh"
 #include "sim/logging.hh"
 
 namespace alewife::core {
@@ -32,6 +34,24 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
     if (auditor)
         auditor->attach(m);
 
+    std::optional<obs::Recorder> rec;
+    if (spec.obs.any()) {
+        rec.emplace(spec.obs, m.nodes());
+        rec->attach(m);
+        if (auditor && rec->flight()) {
+            // A violation dumps the recent-event window before the
+            // auditor aborts or collects, so the failure is
+            // immediately inspectable.
+            obs::Recorder &r = *rec;
+            auditor->setOnViolation(
+                [&r](const check::InvariantAuditor::Violation &v) {
+                    const std::string path = r.dumpFlight();
+                    std::cerr << "flight recorder dump (invariant "
+                              << v.invariant << "): " << path << "\n";
+                });
+        }
+    }
+
     app.setup(m, spec.mechanism);
 
     const Tick finish =
@@ -39,6 +59,11 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
 
     if (auditor)
         auditor->finalize();
+    if (rec) {
+        rec->finalize();
+        if (auditor)
+            auditor->setOnViolation(nullptr); // recorder dies with us
+    }
 
     RunResult r;
     r.app = app.name();

@@ -15,6 +15,7 @@
 #include "core/mechanism.hh"
 #include "machine/config.hh"
 #include "net/cross_traffic.hh"
+#include "obs/options.hh"
 #include "sim/stats.hh"
 
 namespace alewife::check {
@@ -64,6 +65,13 @@ struct RunSpec
     bool audit = false;
     /** Schedule perturbation (fuzzing); disabled by default. */
     check::PerturbConfig perturb;
+    /**
+     * Observability (trace/metrics/interval/flight); all-off by
+     * default. Results are bit-identical attached or detached, so obs
+     * settings are not part of result-cache keys; the sweep engine
+     * bypasses cache reads instead so the files actually get written.
+     */
+    obs::RecorderOptions obs;
 };
 
 /**

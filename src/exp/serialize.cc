@@ -8,38 +8,6 @@ namespace alewife::exp {
 
 namespace {
 
-/**
- * Counter fields serialized by name so the schema survives reordering
- * of MachineCounters members. Adding a counter is backward compatible
- * (absent fields decode to the natural zero); renames bump the schema.
- */
-struct CounterField
-{
-    const char *name;
-    std::uint64_t MachineCounters::*member;
-};
-
-constexpr CounterField kCounterFields[] = {
-    {"packetsInjected", &MachineCounters::packetsInjected},
-    {"packetsDelivered", &MachineCounters::packetsDelivered},
-    {"cacheHits", &MachineCounters::cacheHits},
-    {"cacheMisses", &MachineCounters::cacheMisses},
-    {"localMisses", &MachineCounters::localMisses},
-    {"remoteMisses", &MachineCounters::remoteMisses},
-    {"invalidationsSent", &MachineCounters::invalidationsSent},
-    {"limitlessTraps", &MachineCounters::limitlessTraps},
-    {"interruptsTaken", &MachineCounters::interruptsTaken},
-    {"messagesPolled", &MachineCounters::messagesPolled},
-    {"prefetchesIssued", &MachineCounters::prefetchesIssued},
-    {"prefetchesUseful", &MachineCounters::prefetchesUseful},
-    {"prefetchesUseless", &MachineCounters::prefetchesUseless},
-    {"dmaTransfers", &MachineCounters::dmaTransfers},
-    {"lockAcquires", &MachineCounters::lockAcquires},
-    {"lockRetries", &MachineCounters::lockRetries},
-    {"barrierEpisodes", &MachineCounters::barrierEpisodes},
-    {"niQueueFullStalls", &MachineCounters::niQueueFullStalls},
-};
-
 Json
 schemaHeader()
 {
@@ -82,8 +50,11 @@ resultToJson(const core::RunResult &r)
         vol.set(volCatName(static_cast<VolCat>(i)), r.volume.bytes[i]);
     j.set("volumeBytes", std::move(vol));
 
+    // Counters serialize by name (shared machineCounterFields table)
+    // so the schema survives member reordering; absent fields decode
+    // to the natural zero, renames bump the schema.
     Json ctr = Json::object();
-    for (const auto &f : kCounterFields)
+    for (const auto &f : machineCounterFields())
         ctr.set(f.name, r.counters.*(f.member));
     j.set("counters", std::move(ctr));
 
@@ -113,7 +84,7 @@ resultFromJson(const Json &j)
             vol.at(volCatName(static_cast<VolCat>(i))).asU64();
 
     const Json &ctr = j.at("counters");
-    for (const auto &f : kCounterFields) {
+    for (const auto &f : machineCounterFields()) {
         if (const Json *v = ctr.find(f.name))
             r.counters.*(f.member) = v->asU64();
     }

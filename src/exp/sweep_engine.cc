@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "exp/json.hh"
 #include "exp/result_cache.hh"
 #include "sim/logging.hh"
 
@@ -44,8 +47,11 @@ SweepEngine::run(const std::vector<Job> &jobs)
     std::vector<int> todo;
     todo.reserve(jobs.size());
     for (int i = 0; i < n; ++i) {
+        // Audited or observed batches always simulate: a cache hit
+        // would skip the invariant checks / skip writing the
+        // requested obs files. Results are still stored below.
         const std::string key =
-            (opts_.cache && !opts_.audit)
+            (opts_.cache && !opts_.audit && !opts_.obs.any())
                 ? ResultCache::key(jobs[i].spec, jobs[i].appKey)
                 : std::string();
         if (!key.empty()) {
@@ -78,6 +84,21 @@ SweepEngine::run(const std::vector<Job> &jobs)
         const Job &job = jobs[i];
         core::RunSpec spec = job.spec;
         spec.audit = spec.audit || opts_.audit;
+        if (opts_.obs.any()) {
+            // Per-run output paths: one sink per simulation thread,
+            // never a shared file between parallel workers.
+            const std::string tag = "run" + std::to_string(i);
+            spec.obs = opts_.obs;
+            if (!spec.obs.traceOut.empty())
+                spec.obs.traceOut =
+                    obs::withPathTag(spec.obs.traceOut, tag);
+            if (!spec.obs.metricsOut.empty())
+                spec.obs.metricsOut =
+                    obs::withPathTag(spec.obs.metricsOut, tag);
+            if (!spec.obs.flightOut.empty())
+                spec.obs.flightOut =
+                    obs::withPathTag(spec.obs.flightOut, tag);
+        }
         results[i] = core::runApp(job.app, spec, opts_.verifyFatal);
         if (opts_.cache) {
             const std::string key =
@@ -117,6 +138,42 @@ SweepEngine::run(const std::vector<Job> &jobs)
     progress_.elapsedSec = secondsSince(start);
     if (opts_.onProgress && todo.empty())
         opts_.onProgress(progress_);
+
+    // Fold the per-run metrics documents into one sweep-level file at
+    // the configured path, in submission order.
+    if (opts_.obs.any() && !opts_.obs.metricsOut.empty()) {
+        Json merged = Json::object();
+        merged.set("schema", "alewife-metrics-sweep");
+        merged.set("version", 1);
+        Json runs = Json::array();
+        for (int i = 0; i < n; ++i) {
+            const std::string path = obs::withPathTag(
+                opts_.obs.metricsOut, "run" + std::to_string(i));
+            std::ifstream in(path);
+            if (!in)
+                continue;
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            std::string err;
+            Json doc = Json::parse(ss.str(), &err);
+            if (doc.isNull())
+                continue;
+            Json r = Json::object();
+            r.set("job", i);
+            r.set("app", results[i].app);
+            r.set("mechanism",
+                  core::mechanismShortName(results[i].mechanism));
+            r.set("file", path);
+            r.set("metrics", std::move(doc));
+            runs.push(std::move(r));
+        }
+        merged.set("runs", std::move(runs));
+        std::ofstream os(opts_.obs.metricsOut);
+        if (!os)
+            ALEWIFE_FATAL("metrics-out: cannot open ",
+                          opts_.obs.metricsOut);
+        os << merged.dump(1) << "\n";
+    }
     return results;
 }
 

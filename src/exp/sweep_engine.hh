@@ -90,6 +90,16 @@ struct EngineOptions
      * unaudited sweeps (auditing never changes a result).
      */
     bool audit = false;
+    /**
+     * Observability for every job of the batch. Output paths are made
+     * per-run (obs::withPathTag with "run<i>") so parallel workers
+     * never share a file — one sink per simulation thread. When
+     * metricsOut is set, the per-run metrics documents are merged into
+     * one schema-versioned sweep file at that path after the batch.
+     * Like audit, observed sweeps bypass cache reads (a cache hit
+     * would skip writing the requested files) but still store.
+     */
+    obs::RecorderOptions obs;
 };
 
 class SweepEngine

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 
 namespace alewife {
@@ -60,6 +61,35 @@ Machine::Machine(MachineConfig cfg, proc::SyncStyle style,
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::attachHooks(check::Hooks *hooks)
+{
+    hookObs_.push_back(hooks);
+    check::Hooks *effective = hookObs_.front();
+    if (hookObs_.size() > 1) {
+        if (!hookFanout_)
+            hookFanout_ = std::make_unique<check::HookFanout>();
+        hookFanout_->clear();
+        for (check::Hooks *h : hookObs_)
+            hookFanout_->add(h);
+        effective = hookFanout_.get();
+    }
+    wireHooks(effective);
+}
+
+void
+Machine::wireHooks(check::Hooks *h)
+{
+    eq_.setAuditHooks(h);
+    mesh_->setAuditHooks(h);
+    for (int i = 0; i < nodes(); ++i) {
+        cacheAt(i).setAuditHooks(h, i);
+        pfbAt(i).setAuditHooks(h, i);
+        cohAt(i).setAuditHooks(h);
+        procAt(i).setAuditHooks(h);
+    }
+}
 
 void
 Machine::addCrossTraffic(net::CrossTrafficConfig cfg)

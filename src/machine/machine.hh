@@ -33,6 +33,11 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
+namespace alewife::check {
+class Hooks;
+class HookFanout;
+}
+
 namespace alewife {
 
 /**
@@ -105,7 +110,19 @@ class Machine
     /** Application communication volume so far. */
     const VolumeBreakdown &volume() const { return mesh_->volume(); }
 
+    /**
+     * Attach an observer (invariant auditor, obs recorder) to every
+     * component. One observer is wired by direct pointer; several are
+     * multiplexed through one check::HookFanout, so the detached cost
+     * stays a null check and the single-observer cost one virtual
+     * call. Observers see events in attachment order and must outlive
+     * the machine's last run.
+     */
+    void attachHooks(check::Hooks *hooks);
+
   private:
+    /** Point every component's hook pointer at @p h. */
+    void wireHooks(check::Hooks *h);
     struct Node
     {
         Node(NodeId id, Machine &m);
@@ -130,6 +147,10 @@ class Machine
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<net::CrossTraffic> cross_;
     Tick finishTick_ = 0;
+
+    // Attached observers and the fanout used once there are >= 2.
+    std::vector<check::Hooks *> hookObs_;
+    std::unique_ptr<check::HookFanout> hookFanout_;
 };
 
 } // namespace alewife

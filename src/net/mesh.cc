@@ -157,14 +157,17 @@ Mesh::send(std::unique_ptr<Packet> pkt)
         const Tick hop = hopLatency();
         const Tick uncontended = head + hop;
         head = std::max(uncontended, link.freeAt + hop);
+        const Tick waited = head - uncontended;
         if (first) {
-            first_link_wait = head - uncontended;
+            first_link_wait = waited;
             first = false;
         }
         link.freeAt = head + ser;
         link.busyTicks += ser;
         link.bytes += pkt->sizeBytes;
         finalLink = li;
+        if (hooks_)
+            hooks_->onHop(*pkt, li, head, waited);
 
         // Bisection accounting: an east/west link whose endpoints straddle
         // the vertical cut.

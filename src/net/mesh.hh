@@ -114,7 +114,6 @@ class Mesh
      */
     using RouteBuf = sim::SmallVec<int, 64>;
 
-  private:
     /** One unidirectional link. */
     struct Link
     {
@@ -122,6 +121,14 @@ class Mesh
         std::uint64_t busyTicks = 0;
         std::uint64_t bytes = 0;
     };
+
+    /**
+     * Per-link occupancy counters, indexed node*4 + direction
+     * (E,W,N,S). Read-only diagnostic for the observability exporter.
+     */
+    const std::vector<Link> &linkStats() const { return links_; }
+
+  private:
 
     /** Index of the unidirectional link leaving (x,y) toward (nx,ny). */
     int linkIndex(int x, int y, int nx, int ny) const;

@@ -1,0 +1,85 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace alewife::obs {
+
+const char *
+FlightRecorder::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::PacketInjected: return "pkt-inject";
+      case Kind::PacketDelivered: return "pkt-deliver";
+      case Kind::Hop: return "hop";
+      case Kind::ProcSpan: return "proc-span";
+      case Kind::HandlerRun: return "handler-run";
+      case Kind::BarrierEpisode: return "barrier";
+      case Kind::CacheFill: return "cache-fill";
+      case Kind::CacheEvict: return "cache-evict";
+      case Kind::CacheInvalidate: return "cache-inval";
+      case Kind::CacheDowngrade: return "cache-down";
+      case Kind::CacheUpgrade: return "cache-up";
+      case Kind::PfbInstall: return "pfb-install";
+      case Kind::PfbRemove: return "pfb-remove";
+      case Kind::ProtoSend: return "proto-send";
+      case Kind::ProtoProcess: return "proto-proc";
+      case Kind::LocalGrant: return "local-grant";
+      case Kind::Fill: return "fill";
+      case Kind::MshrOpen: return "mshr-open";
+      case Kind::MshrClose: return "mshr-close";
+      case Kind::TxnOpen: return "txn-open";
+      case Kind::TxnClose: return "txn-close";
+      case Kind::RecallStashed: return "recall-stash";
+      case Kind::RecallHonored: return "recall-honor";
+      default: return "?";
+    }
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity))
+{
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    return std::min<std::uint64_t>(total_, ring_.size());
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    const std::size_t n = size();
+    os << "flight recorder: " << n << " of " << total_
+       << " events retained (capacity " << ring_.size() << ")\n";
+    if (n == 0)
+        return;
+    // Oldest retained record: next_ once the ring has wrapped, 0
+    // before that.
+    std::size_t i = (total_ > ring_.size()) ? next_ : 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const Rec &r = ring_[i];
+        os << "  [" << std::setw(6) << (total_ - n + k) << "] cyc "
+           << std::setw(10) << ticksToCycles(r.tick) << "  node "
+           << std::setw(3) << r.node << "  " << std::setw(12)
+           << kindName(r.kind) << "  a=0x" << std::hex << r.a
+           << " b=0x" << r.b << std::dec << "\n";
+        i = (i + 1 == ring_.size()) ? 0 : i + 1;
+    }
+}
+
+void
+FlightRecorder::dumpToFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        ALEWIFE_FATAL("flight recorder: cannot open ", path);
+    dump(os);
+}
+
+} // namespace alewife::obs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Flight recorder: a bounded ring buffer of the most recent observable
+ * events of one Machine.
+ *
+ * The recorder costs one fixed-size store per event and never
+ * allocates after construction, so it can stay attached to long runs.
+ * Its payoff is forensic: when check::InvariantAuditor flags a
+ * violation, the last-N event window around the failure is dumped
+ * alongside the violation report, turning a one-line invariant
+ * message into a replayable local timeline.
+ *
+ * Records carry the kind, the node, the tick of the most recently
+ * executed simulator event (hook callbacks themselves don't all carry
+ * timestamps), and two kind-specific operands (address / packet id /
+ * span bounds).
+ */
+
+#ifndef ALEWIFE_OBS_FLIGHT_HH
+#define ALEWIFE_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife::obs {
+
+/** Bounded ring of recent events; oldest entries are overwritten. */
+class FlightRecorder
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        PacketInjected,  ///< a = pkt id, b = dst
+        PacketDelivered, ///< a = pkt id, b = src
+        Hop,             ///< a = pkt id, b = link index
+        ProcSpan,        ///< a = TimeCat, b = span ticks
+        HandlerRun,      ///< a = span ticks
+        BarrierEpisode,  ///< a = span ticks
+        CacheFill,       ///< a = line, b = LineState
+        CacheEvict,      ///< a = line, b = dirty
+        CacheInvalidate, ///< a = line, b = wasModified
+        CacheDowngrade,  ///< a = line
+        CacheUpgrade,    ///< a = line
+        PfbInstall,      ///< a = line
+        PfbRemove,       ///< a = line
+        ProtoSend,       ///< a = dst
+        ProtoProcess,    ///< (node = processing node)
+        LocalGrant,      ///< a = line, b = exclusive
+        Fill,            ///< a = line, b = exclusive
+        MshrOpen,        ///< a = line, b = exclusive
+        MshrClose,       ///< a = line
+        TxnOpen,         ///< a = line
+        TxnClose,        ///< a = line
+        RecallStashed,   ///< a = line
+        RecallHonored,   ///< a = line
+    };
+
+    static const char *kindName(Kind k);
+
+    /** @p capacity is the ring size in records (>= 1). */
+    explicit FlightRecorder(std::size_t capacity);
+
+    void
+    push(Tick tick, Kind k, NodeId node, std::uint64_t a = 0,
+         std::uint64_t b = 0)
+    {
+        Rec &r = ring_[next_];
+        r.tick = tick;
+        r.a = a;
+        r.b = b;
+        r.node = node;
+        r.kind = k;
+        next_ = (next_ + 1 == ring_.size()) ? 0 : next_ + 1;
+        ++total_;
+    }
+
+    /** Total events ever pushed (>= size()). */
+    std::uint64_t recorded() const { return total_; }
+
+    /** Events currently retained in the ring. */
+    std::size_t size() const;
+
+    /** Human-readable dump, oldest retained event first. */
+    void dump(std::ostream &os) const;
+
+    /** dump() to a file; fatal if the file cannot be opened. */
+    void dumpToFile(const std::string &path) const;
+
+  private:
+    struct Rec
+    {
+        Tick tick = 0;
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        NodeId node = 0;
+        Kind kind = Kind::PacketInjected;
+    };
+
+    std::vector<Rec> ring_;
+    std::size_t next_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace alewife::obs
+
+#endif // ALEWIFE_OBS_FLIGHT_HH

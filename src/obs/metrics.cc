@@ -1,0 +1,188 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace alewife::obs {
+
+MetricsRegistry::MetricsRegistry(int nodes) : nodes_(std::max(1, nodes))
+{
+}
+
+int
+MetricsRegistry::counterId(const std::string &name)
+{
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (counters_[i].name == name)
+            return static_cast<int>(i);
+    }
+    Counter c;
+    c.name = name;
+    c.perNode.assign(static_cast<std::size_t>(nodes_), 0);
+    counters_.push_back(std::move(c));
+    return static_cast<int>(counters_.size() - 1);
+}
+
+std::uint64_t
+MetricsRegistry::counterTotal(int id) const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t v : counters_[static_cast<std::size_t>(id)].perNode)
+        t += v;
+    return t;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double v)
+{
+    for (auto &g : gauges_) {
+        if (g.name == name) {
+            g.value = v;
+            return;
+        }
+    }
+    gauges_.push_back(Gauge{name, v});
+}
+
+int
+MetricsRegistry::histogramId(const std::string &name,
+                             std::vector<double> bounds)
+{
+    for (std::size_t i = 0; i < hists_.size(); ++i) {
+        if (hists_[i].name == name)
+            return static_cast<int>(i);
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        if (bounds[i] <= bounds[i - 1])
+            ALEWIFE_FATAL("histogram ", name,
+                          ": bucket bounds must ascend");
+    }
+    Histogram h;
+    h.name = name;
+    h.bounds = std::move(bounds);
+    h.perNode.resize(static_cast<std::size_t>(nodes_));
+    for (auto &pn : h.perNode)
+        pn.buckets.assign(h.bounds.size() + 1, 0);
+    hists_.push_back(std::move(h));
+    return static_cast<int>(hists_.size() - 1);
+}
+
+void
+MetricsRegistry::observe(int id, NodeId node, double v)
+{
+    Histogram &h = hists_[static_cast<std::size_t>(id)];
+    PerNodeHist &pn = h.perNode[static_cast<std::size_t>(node)];
+    // First bucket whose inclusive upper edge holds v; else overflow.
+    std::size_t b = 0;
+    while (b < h.bounds.size() && v > h.bounds[b])
+        ++b;
+    ++pn.buckets[b];
+    ++pn.count;
+    pn.sum += v;
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+}
+
+std::uint64_t
+MetricsRegistry::histCount(int id) const
+{
+    std::uint64_t t = 0;
+    for (const auto &pn : hists_[static_cast<std::size_t>(id)].perNode)
+        t += pn.count;
+    return t;
+}
+
+double
+MetricsRegistry::histSum(int id) const
+{
+    double t = 0.0;
+    for (const auto &pn : hists_[static_cast<std::size_t>(id)].perNode)
+        t += pn.sum;
+    return t;
+}
+
+void
+MetricsRegistry::ingest(const MachineCounters &c, NodeId node)
+{
+    for (const auto &f : machineCounterFields()) {
+        const int id = counterId(std::string("cmmu.") + f.name);
+        addCounter(id, node, c.*(f.member));
+    }
+}
+
+exp::Json
+MetricsRegistry::toJson() const
+{
+    exp::Json j = exp::Json::object();
+    j.set("schema", "alewife-metrics");
+    j.set("version", kMetricsSchemaVersion);
+    j.set("nodes", nodes_);
+
+    exp::Json ctrs = exp::Json::object();
+    for (const auto &c : counters_) {
+        exp::Json o = exp::Json::object();
+        std::uint64_t total = 0;
+        exp::Json per = exp::Json::array();
+        for (std::uint64_t v : c.perNode) {
+            total += v;
+            per.push(v);
+        }
+        o.set("total", total);
+        o.set("perNode", std::move(per));
+        ctrs.set(c.name, std::move(o));
+    }
+    j.set("counters", std::move(ctrs));
+
+    exp::Json gs = exp::Json::object();
+    for (const auto &g : gauges_)
+        gs.set(g.name, g.value);
+    j.set("gauges", std::move(gs));
+
+    exp::Json hs = exp::Json::object();
+    for (const auto &h : hists_) {
+        exp::Json o = exp::Json::object();
+        exp::Json bounds = exp::Json::array();
+        for (double b : h.bounds)
+            bounds.push(b);
+        o.set("bounds", std::move(bounds));
+
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        std::vector<std::uint64_t> agg(h.bounds.size() + 1, 0);
+        for (const auto &pn : h.perNode) {
+            count += pn.count;
+            sum += pn.sum;
+            for (std::size_t b = 0; b < agg.size(); ++b)
+                agg[b] += pn.buckets[b];
+        }
+        o.set("count", count);
+        o.set("sum", sum);
+        if (count > 0) {
+            o.set("min", h.min);
+            o.set("max", h.max);
+        }
+        exp::Json buckets = exp::Json::array();
+        for (std::uint64_t b : agg)
+            buckets.push(b);
+        o.set("buckets", std::move(buckets));
+
+        exp::Json per = exp::Json::array();
+        for (const auto &pn : h.perNode) {
+            exp::Json p = exp::Json::object();
+            p.set("count", pn.count);
+            p.set("sum", pn.sum);
+            exp::Json pb = exp::Json::array();
+            for (std::uint64_t b : pn.buckets)
+                pb.push(b);
+            p.set("buckets", std::move(pb));
+            per.push(std::move(p));
+        }
+        o.set("perNode", std::move(per));
+        hs.set(h.name, std::move(o));
+    }
+    j.set("histograms", std::move(hs));
+    return j;
+}
+
+} // namespace alewife::obs

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket histograms
+ * recorded per node and aggregated at export.
+ *
+ * The registry is the single source of truth for simulator diagnostics:
+ * obs::Recorder feeds it from check::Hooks observation points, the CMMU
+ * counter block (MachineCounters) is ingested through the shared
+ * machineCounterFields() table, and both the ASCII report
+ * (core::printCounters) and the JSON export read the same snapshot, so
+ * human-readable and machine-readable output can never disagree.
+ *
+ * Export is schema-versioned ("alewife-metrics", kMetricsSchemaVersion)
+ * with stable key order: metrics appear in registration order, and the
+ * Recorder registers its fixed set in a deterministic sequence.
+ *
+ * Everything here is plain single-threaded state. Parallel sweeps give
+ * every simulation thread its own Recorder and therefore its own
+ * registry (one sink per thread, like the logMutex discipline for
+ * shared streams).
+ */
+
+#ifndef ALEWIFE_OBS_METRICS_HH
+#define ALEWIFE_OBS_METRICS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace alewife::obs {
+
+/** Version of the emitted metrics schema. */
+constexpr int kMetricsSchemaVersion = 1;
+
+/**
+ * Named counters / gauges / histograms with a per-node dimension.
+ */
+class MetricsRegistry
+{
+  public:
+    /** @p nodes sizes the per-node dimension (>= 1). */
+    explicit MetricsRegistry(int nodes);
+
+    int nodes() const { return nodes_; }
+
+    // --- counters ---
+
+    /** Register (or look up) a counter; ids are stable. */
+    int counterId(const std::string &name);
+
+    /** Add @p v to counter @p id on behalf of @p node. */
+    void
+    addCounter(int id, NodeId node, std::uint64_t v = 1)
+    {
+        counters_[static_cast<std::size_t>(id)]
+            .perNode[static_cast<std::size_t>(node)] += v;
+    }
+
+    /** Aggregate (all-node) value of a counter. */
+    std::uint64_t counterTotal(int id) const;
+
+    // --- gauges (machine-wide, last value wins) ---
+
+    void setGauge(const std::string &name, double v);
+
+    // --- histograms ---
+
+    /**
+     * Register a fixed-bucket histogram. @p bounds are inclusive upper
+     * bucket edges in ascending order; one overflow bucket is implied.
+     */
+    int histogramId(const std::string &name, std::vector<double> bounds);
+
+    /** Record @p v into histogram @p id on behalf of @p node. */
+    void observe(int id, NodeId node, double v);
+
+    /** Aggregate observation count of a histogram. */
+    std::uint64_t histCount(int id) const;
+
+    /** Aggregate observation sum of a histogram. */
+    double histSum(int id) const;
+
+    // --- CMMU counter ingestion ---
+
+    /**
+     * Snapshot a MachineCounters block into counters named
+     * "cmmu.<field>", one per machineCounterFields() entry, attributed
+     * to @p node. The field table is shared with exp/serialize, which
+     * is what keeps the ASCII and JSON views in agreement.
+     */
+    void ingest(const MachineCounters &c, NodeId node = 0);
+
+    // --- export ---
+
+    /**
+     * The whole registry as a schema-versioned JSON document. Key
+     * order is registration order; per-node arrays are index-ordered.
+     */
+    exp::Json toJson() const;
+
+  private:
+    struct Counter
+    {
+        std::string name;
+        std::vector<std::uint64_t> perNode;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        double value = 0.0;
+    };
+
+    struct PerNodeHist
+    {
+        std::vector<std::uint64_t> buckets; ///< bounds.size() + 1
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    struct Histogram
+    {
+        std::string name;
+        std::vector<double> bounds;
+        std::vector<PerNodeHist> perNode;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+
+    int nodes_;
+    std::vector<Counter> counters_;
+    std::vector<Gauge> gauges_;
+    std::vector<Histogram> hists_;
+};
+
+} // namespace alewife::obs
+
+#endif // ALEWIFE_OBS_METRICS_HH

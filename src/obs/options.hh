@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Observability options carried by a core::RunSpec.
+ *
+ * Kept in a leaf header (no obs machinery) so core/runner and
+ * exp::SweepEngine can embed the options by value without pulling the
+ * recorder, timeline, or metrics types into their headers. The options
+ * do NOT participate in result-cache keys: observation never changes a
+ * result (bit-identical attached or detached), but a cached hit would
+ * skip producing the requested files, so the sweep engine bypasses
+ * cache reads when any() is set — the same rule audit runs use.
+ */
+
+#ifndef ALEWIFE_OBS_OPTIONS_HH
+#define ALEWIFE_OBS_OPTIONS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace alewife::obs {
+
+/** What to observe and where to write it; default is all-off. */
+struct RecorderOptions
+{
+    /** Chrome trace / Perfetto JSON output path ("" = no timeline). */
+    std::string traceOut;
+
+    /** Metrics-registry JSON output path ("" = no metrics file). */
+    std::string metricsOut;
+
+    /** Interval-profile sampling period in cycles (0 = off). */
+    double intervalCycles = 0.0;
+
+    /** Flight-recorder ring capacity in events (0 = off). */
+    std::size_t flightEvents = 0;
+
+    /**
+     * Where a violation-triggered flight dump lands; "" derives
+     * "alewife-flight.dump" next to the other outputs.
+     */
+    std::string flightOut;
+
+    /** True when any observation is requested. */
+    bool
+    any() const
+    {
+        return !traceOut.empty() || !metricsOut.empty()
+               || intervalCycles > 0.0 || flightEvents > 0;
+    }
+};
+
+/**
+ * Derive a per-run variant of @p path by inserting "-<tag>" before the
+ * extension ("m.json", "run3" -> "m-run3.json"). Used by the sweep
+ * engine so parallel runs never share an output file.
+ */
+std::string withPathTag(const std::string &path, const std::string &tag);
+
+} // namespace alewife::obs
+
+#endif // ALEWIFE_OBS_OPTIONS_HH

@@ -1,0 +1,210 @@
+#include "obs/timeline.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace alewife::obs {
+
+namespace {
+
+/**
+ * Print a JSON number: integers (the common case — tick counts are
+ * integral and cycles have at most two decimals) without exponents,
+ * anything else with enough digits to round-trip.
+ */
+void
+putNum(std::ostream &os, double v)
+{
+    char buf[32];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    os << buf;
+}
+
+void
+putStr(std::ostream &os, const char *s)
+{
+    os << '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+putStr(std::ostream &os, const std::string &s)
+{
+    putStr(os, s.c_str());
+}
+
+/** Export scale: ticks -> cycles, mapped onto the trace's "us" unit. */
+double
+ts(Tick t)
+{
+    return ticksToCycles(t);
+}
+
+} // namespace
+
+void
+TraceWriter::complete(int pid, int tid, const char *name,
+                      const char *cat, Tick start, Tick end)
+{
+    Ev e;
+    e.ts = start;
+    e.dur = end - start;
+    e.name = name;
+    e.cat = cat;
+    e.pid = pid;
+    e.tid = tid;
+    e.ph = 'X';
+    evs_.push_back(e);
+}
+
+void
+TraceWriter::asyncPair(int pid, const char *name, const char *cat,
+                       std::uint64_t id, Tick start, Tick end)
+{
+    Ev b;
+    b.ts = start;
+    b.id = id;
+    b.name = name;
+    b.cat = cat;
+    b.pid = pid;
+    b.ph = 'b';
+    evs_.push_back(b);
+
+    Ev e = b;
+    e.ts = end;
+    e.ph = 'e';
+    evs_.push_back(e);
+}
+
+void
+TraceWriter::instant(int pid, int tid, const char *name,
+                     const char *cat, Tick at, const char *argName,
+                     double arg)
+{
+    Ev e;
+    e.ts = at;
+    e.name = name;
+    e.cat = cat;
+    e.argName = argName;
+    e.arg = arg;
+    e.pid = pid;
+    e.tid = tid;
+    e.ph = 'i';
+    evs_.push_back(e);
+}
+
+void
+TraceWriter::counter(int pid, const char *name, const char *series,
+                     Tick at, double value)
+{
+    Ev e;
+    e.ts = at;
+    e.name = name;
+    e.cat = "obs";
+    e.argName = series;
+    e.arg = value;
+    e.pid = pid;
+    e.ph = 'C';
+    evs_.push_back(e);
+}
+
+void
+TraceWriter::processName(int pid, std::string name)
+{
+    meta_.push_back(Meta{pid, 0, false, std::move(name)});
+}
+
+void
+TraceWriter::threadName(int pid, int tid, std::string name)
+{
+    meta_.push_back(Meta{pid, tid, true, std::move(name)});
+}
+
+void
+TraceWriter::writeTo(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\","
+          "\"otherData\":{\"tsUnit\":\"cycles (1 cycle = 1us)\"},"
+          "\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    for (const auto &m : meta_) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << m.pid << ",\"tid\":" << m.tid
+           << ",\"name\":"
+           << (m.thread ? "\"thread_name\"" : "\"process_name\"")
+           << ",\"args\":{\"name\":";
+        putStr(os, m.name);
+        os << "}}";
+    }
+
+    for (const auto &e : evs_) {
+        sep();
+        os << "{\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid;
+        if (e.ph == 'X' || e.ph == 'i')
+            os << ",\"tid\":" << e.tid;
+        os << ",\"name\":";
+        putStr(os, e.name);
+        if (e.cat != nullptr) {
+            os << ",\"cat\":";
+            putStr(os, e.cat);
+        }
+        os << ",\"ts\":";
+        putNum(os, ts(e.ts));
+        switch (e.ph) {
+          case 'X':
+            os << ",\"dur\":";
+            putNum(os, ts(e.dur));
+            break;
+          case 'b':
+          case 'e':
+            os << ",\"id\":" << e.id;
+            break;
+          case 'i':
+            os << ",\"s\":\"t\"";
+            break;
+          default:
+            break;
+        }
+        if (e.ph == 'C' || (e.ph == 'i' && e.argName != nullptr)) {
+            os << ",\"args\":{";
+            putStr(os, e.argName);
+            os << ":";
+            putNum(os, e.arg);
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+TraceWriter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        ALEWIFE_FATAL("trace-out: cannot open ", path);
+    writeTo(os);
+}
+
+} // namespace alewife::obs

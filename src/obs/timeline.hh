@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-compatible) timeline writer.
+ *
+ * Events accumulate in a compact in-memory vector (one POD record per
+ * event, names/categories as pointers to string literals) and are
+ * streamed out as a single JSON-object-format trace on writeTo(): a
+ * `traceEvents` array plus metadata, loadable directly in
+ * ui.perfetto.dev or chrome://tracing.
+ *
+ * Timestamps are recorded in simulator ticks and exported in *cycles*
+ * mapped onto the trace's microsecond unit (1 cycle == 1 us), so the
+ * Perfetto ruler reads directly in machine cycles. `otherData.tsUnit`
+ * documents the mapping.
+ *
+ * Phase legend (Chrome trace format):
+ *   "X"  complete slice (ts + dur)      — processor phases, handlers
+ *   "b"/"e" async begin/end (cat + id)  — packets in flight, coherence
+ *                                         transactions; this writer
+ *                                         emits them as matched pairs
+ *                                         by construction
+ *   "i"  instant                        — mesh hops, audit violations
+ *   "C"  counter                        — interval-profile samples
+ *   "M"  metadata                       — process / thread names
+ */
+
+#ifndef ALEWIFE_OBS_TIMELINE_HH
+#define ALEWIFE_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace alewife::obs {
+
+/** Collects trace events and streams them as Chrome trace JSON. */
+class TraceWriter
+{
+  public:
+    /** A complete ("X") slice on track @p tid of process @p pid. */
+    void complete(int pid, int tid, const char *name, const char *cat,
+                  Tick start, Tick end);
+
+    /**
+     * An async span as a matched "b"/"e" pair (same cat + id). Emitted
+     * together once the span's end is known, which is what guarantees
+     * every begin has its end in the file.
+     */
+    void asyncPair(int pid, const char *name, const char *cat,
+                   std::uint64_t id, Tick start, Tick end);
+
+    /** A thread-scoped instant ("i") event. */
+    void instant(int pid, int tid, const char *name, const char *cat,
+                 Tick ts, const char *argName = nullptr, double arg = 0);
+
+    /** A counter ("C") sample: one named series value at @p ts. */
+    void counter(int pid, const char *name, const char *series, Tick ts,
+                 double value);
+
+    /** Name the process (Perfetto group) for @p pid. */
+    void processName(int pid, std::string name);
+
+    /** Name a thread (track) within @p pid. */
+    void threadName(int pid, int tid, std::string name);
+
+    std::size_t events() const { return evs_.size(); }
+
+    /** Stream the whole trace as one JSON object document. */
+    void writeTo(std::ostream &os) const;
+
+    /** writeTo() an on-disk file; fatal if the file cannot be opened. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    /**
+     * One trace event. @p name / @p cat / @p argName point at string
+     * literals (static storage) supplied by the instrumentation sites,
+     * so records stay trivially copyable and allocation-free.
+     */
+    struct Ev
+    {
+        Tick ts = 0;
+        Tick dur = 0;
+        std::uint64_t id = 0;
+        double arg = 0.0;
+        const char *name = nullptr;
+        const char *cat = nullptr;
+        const char *argName = nullptr;
+        std::int32_t pid = 0;
+        std::int32_t tid = 0;
+        char ph = 'X';
+    };
+
+    struct Meta
+    {
+        std::int32_t pid = 0;
+        std::int32_t tid = 0;
+        bool thread = false; ///< thread_name vs process_name
+        std::string name;
+    };
+
+    std::vector<Ev> evs_;
+    std::vector<Meta> meta_;
+};
+
+} // namespace alewife::obs
+
+#endif // ALEWIFE_OBS_TIMELINE_HH

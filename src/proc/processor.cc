@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -39,6 +40,34 @@ Proc::advance(TimeCat cat, double cycles)
     localNow_ += t;
     ahead_ += t;
     breakdown_.add(cat, t);
+    if (hooks_)
+        noteSpan(cat, localNow_ - t, localNow_);
+}
+
+void
+Proc::noteSpan(TimeCat cat, Tick start, Tick end)
+{
+    if (start >= end)
+        return;
+    if (spanOpen_ && cat == spanCat_ && start == spanEnd_) {
+        spanEnd_ = end;
+        return;
+    }
+    flushSpans();
+    spanCat_ = cat;
+    spanStart_ = start;
+    spanEnd_ = end;
+    spanOpen_ = true;
+}
+
+void
+Proc::flushSpans()
+{
+    if (!spanOpen_)
+        return;
+    spanOpen_ = false;
+    if (hooks_)
+        hooks_->onProcSpan(id_, spanCat_, spanStart_, spanEnd_);
 }
 
 void
@@ -61,6 +90,8 @@ Proc::accountWait(TimeCat cat, Tick start_local, Tick stolen_at_start,
     const Tick raw = end > start_local ? end - start_local : 0;
     const Tick net = raw > stolen_delta ? raw - stolen_delta : 0;
     breakdown_.add(cat, net);
+    if (hooks_)
+        noteSpan(cat, end - net, end);
 }
 
 void
@@ -68,6 +99,8 @@ Proc::suspendCompute(std::coroutine_handle<> h, Tick dur, TimeCat cat)
 {
     breakdown_.add(cat, dur);
     computeUntil_ = localNow_ + dur;
+    if (hooks_)
+        noteSpan(cat, localNow_, computeUntil_);
     state_ = State::ComputeBlock;
     resumeHandle_ = h;
     ahead_ = 0;
@@ -128,12 +161,16 @@ Proc::chargeHandler(double cycles, TimeCat cat)
         // Polled handlers execute as part of the program's own flow.
         localNow_ += cost;
         ahead_ += cost;
+        if (hooks_)
+            hooks_->onHandlerRun(id_, localNow_ - cost, localNow_);
         return localNow_;
 
       case State::ComputeBlock:
         // Interrupt preempts the compute burst and pushes out its end.
         computeUntil_ += cost;
         scheduleResume(computeUntil_);
+        if (hooks_)
+            hooks_->onHandlerRun(id_, now, now + cost);
         return now + cost;
 
       case State::WaitingOp:
@@ -144,6 +181,8 @@ Proc::chargeHandler(double cycles, TimeCat cat)
         localNow_ = begin + cost;
         if (resumeEvent_.pending() && resumeAt_ < localNow_)
             scheduleResume(localNow_);
+        if (hooks_)
+            hooks_->onHandlerRun(id_, begin, localNow_);
         return localNow_;
       }
     }

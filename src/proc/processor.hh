@@ -30,6 +30,10 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace alewife::check {
+class Hooks;
+}
+
 namespace alewife::proc {
 
 /**
@@ -117,7 +121,21 @@ class Proc
      */
     Tick busyHorizon() const;
 
+    /**
+     * Observer notified of attributed time spans (onProcSpan, in
+     * node-local time) and handler runs; may be null. Adjacent
+     * same-category spans are coalesced before emission, so call
+     * flushSpans() at end of run to push out the tail span.
+     */
+    void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
+    check::Hooks *auditHooks() const { return hooks_; }
+
+    /** Emit the still-open coalesced span, if any. */
+    void flushSpans();
+
   private:
+    /** Record an attributed span; coalesces with the previous one. */
+    void noteSpan(TimeCat cat, Tick start, Tick end);
     /** Schedule (or move) the pending resume event to @p at. */
     void scheduleResume(Tick at);
 
@@ -161,6 +179,13 @@ class Proc
         Tick stolenAtStart;
     };
     std::optional<CondWait> cond_;
+
+    // Observation (null when detached). Span coalescing state.
+    check::Hooks *hooks_ = nullptr;
+    TimeCat spanCat_ = TimeCat::Compute;
+    Tick spanStart_ = 0;
+    Tick spanEnd_ = 0;
+    bool spanOpen_ = false;
 };
 
 } // namespace alewife::proc

@@ -1,5 +1,6 @@
 #include "proc/sync.hh"
 
+#include "check/hooks.hh"
 #include "proc/context.hh"
 #include "sim/logging.hh"
 
@@ -67,9 +68,16 @@ sim::SubTask<void>
 SyncSystem::barrier(Ctx &ctx)
 {
     ++ctx.counters().barrierEpisodes;
+    // Bracket the episode in node-local time for the observability
+    // layer; the wrapper adds no simulated time of its own.
+    check::Hooks *h = ctx.proc().auditHooks();
+    const Tick start = h ? ctx.proc().localNow() : 0;
     if (style_ == SyncStyle::SharedMemory)
-        return barrierSm(ctx);
-    return barrierMp(ctx);
+        co_await barrierSm(ctx);
+    else
+        co_await barrierMp(ctx);
+    if (h)
+        h->onBarrierEpisode(ctx.self(), start, ctx.proc().localNow());
 }
 
 sim::SubTask<void>

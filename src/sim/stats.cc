@@ -60,6 +60,37 @@ VolumeBreakdown::operator+=(const VolumeBreakdown &o)
     return *this;
 }
 
+namespace {
+
+constexpr CounterField kCounterFields[] = {
+    {"packetsInjected", &MachineCounters::packetsInjected},
+    {"packetsDelivered", &MachineCounters::packetsDelivered},
+    {"cacheHits", &MachineCounters::cacheHits},
+    {"cacheMisses", &MachineCounters::cacheMisses},
+    {"localMisses", &MachineCounters::localMisses},
+    {"remoteMisses", &MachineCounters::remoteMisses},
+    {"invalidationsSent", &MachineCounters::invalidationsSent},
+    {"limitlessTraps", &MachineCounters::limitlessTraps},
+    {"interruptsTaken", &MachineCounters::interruptsTaken},
+    {"messagesPolled", &MachineCounters::messagesPolled},
+    {"prefetchesIssued", &MachineCounters::prefetchesIssued},
+    {"prefetchesUseful", &MachineCounters::prefetchesUseful},
+    {"prefetchesUseless", &MachineCounters::prefetchesUseless},
+    {"dmaTransfers", &MachineCounters::dmaTransfers},
+    {"lockAcquires", &MachineCounters::lockAcquires},
+    {"lockRetries", &MachineCounters::lockRetries},
+    {"barrierEpisodes", &MachineCounters::barrierEpisodes},
+    {"niQueueFullStalls", &MachineCounters::niQueueFullStalls},
+};
+
+} // namespace
+
+std::span<const CounterField>
+machineCounterFields()
+{
+    return kCounterFields;
+}
+
 MachineCounters &
 MachineCounters::operator+=(const MachineCounters &o)
 {

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "sim/types.hh"
@@ -114,6 +115,21 @@ struct MachineCounters
 
     MachineCounters &operator+=(const MachineCounters &o);
 };
+
+/**
+ * Name <-> member mapping for one MachineCounters field. The canonical
+ * table below is the single source of truth for every by-name view of
+ * the counter block (exp/serialize JSON, obs::MetricsRegistry, the
+ * ASCII report), so the views cannot drift apart.
+ */
+struct CounterField
+{
+    const char *name;
+    std::uint64_t MachineCounters::*member;
+};
+
+/** The canonical field table, in declaration order. */
+std::span<const CounterField> machineCounterFields();
 
 } // namespace alewife
 

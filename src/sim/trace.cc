@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <set>
 
 #include "sim/logging.hh"
 
@@ -18,11 +19,37 @@ traceCatName(TraceCat c)
       case TraceCat::Msg: return "msg";
       case TraceCat::Proc: return "proc";
       case TraceCat::Sync: return "sync";
+      case TraceCat::Obs: return "obs";
       default: return "?";
     }
 }
 
 namespace {
+
+/**
+ * Warn (once per distinct token, to stderr) about an ALEWIFE_TRACE
+ * name that matches no category — a typo would otherwise silently
+ * trace nothing.
+ */
+void
+warnUnknownToken(const std::string &tok)
+{
+    static std::set<std::string> warned;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!warned.insert(tok).second)
+        return;
+    std::string valid = "all";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
+        valid += ",";
+        valid += traceCatName(static_cast<TraceCat>(i));
+    }
+    std::fprintf(stderr,
+                 "alewife: unknown ALEWIFE_TRACE category '%s' "
+                 "(valid: %s)\n",
+                 tok.c_str(), valid.c_str());
+}
 
 /** Parse an ALEWIFE_TRACE-style spec into the category flags. */
 void
@@ -41,11 +68,16 @@ applySpec(const std::string &spec,
         const std::string tok = spec.substr(
             pos, comma == std::string::npos ? std::string::npos
                                             : comma - pos);
+        bool known = tok.empty(); // tolerate stray commas silently
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(TraceCat::NumCats); ++i) {
-            if (tok == traceCatName(static_cast<TraceCat>(i)))
+            if (tok == traceCatName(static_cast<TraceCat>(i))) {
                 on[i].store(true, std::memory_order_relaxed);
+                known = true;
+            }
         }
+        if (!known)
+            warnUnknownToken(tok);
         if (comma == std::string::npos)
             break;
         pos = comma + 1;

@@ -32,6 +32,7 @@ enum class TraceCat : std::uint8_t
     Msg,     ///< active messages and handlers
     Proc,    ///< program resume/suspend, handler charges
     Sync,    ///< barriers and locks
+    Obs,     ///< observability layer (recorder, exporters)
     NumCats
 };
 

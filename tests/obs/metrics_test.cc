@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for obs::MetricsRegistry: counter/gauge/histogram
+ * behavior, CMMU counter ingestion through the shared field table, and
+ * the schema-versioned JSON export with stable key order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace alewife::obs {
+namespace {
+
+TEST(Metrics, CounterIdsAreStableAndAccumulate)
+{
+    MetricsRegistry reg(4);
+    const int a = reg.counterId("a");
+    const int b = reg.counterId("b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, reg.counterId("a")); // lookup, not re-registration
+
+    reg.addCounter(a, 0);
+    reg.addCounter(a, 3, 10);
+    reg.addCounter(b, 1, 2);
+    EXPECT_EQ(reg.counterTotal(a), 11u);
+    EXPECT_EQ(reg.counterTotal(b), 2u);
+}
+
+TEST(Metrics, HistogramUpperEdgesAreInclusive)
+{
+    MetricsRegistry reg(1);
+    const int h = reg.histogramId("lat", {1, 10, 100});
+
+    reg.observe(h, 0, 1.0);   // == first edge -> first bucket
+    reg.observe(h, 0, 10.0);  // == second edge -> second bucket
+    reg.observe(h, 0, 11.0);  // -> third bucket
+    reg.observe(h, 0, 500.0); // past the last edge -> overflow bucket
+    EXPECT_EQ(reg.histCount(h), 4u);
+    EXPECT_DOUBLE_EQ(reg.histSum(h), 522.0);
+
+    const exp::Json j = reg.toJson();
+    const exp::Json &hist = j.at("histograms").at("lat");
+    // 3 bounds + 1 implied overflow bucket.
+    ASSERT_EQ(hist.at("buckets").size(), 4u);
+    EXPECT_EQ(hist.at("buckets").at(0).asU64(), 1u); // 1.0 (== edge)
+    EXPECT_EQ(hist.at("buckets").at(1).asU64(), 1u); // 10.0 (== edge)
+    EXPECT_EQ(hist.at("buckets").at(2).asU64(), 1u); // 11.0
+    EXPECT_EQ(hist.at("buckets").at(3).asU64(), 1u); // 500.0 overflow
+}
+
+TEST(Metrics, GaugeLastValueWins)
+{
+    MetricsRegistry reg(1);
+    reg.setGauge("util", 0.25);
+    reg.setGauge("util", 0.75);
+    const exp::Json j = reg.toJson();
+    EXPECT_DOUBLE_EQ(j.at("gauges").at("util").asDouble(), 0.75);
+}
+
+TEST(Metrics, IngestUsesTheSharedCounterFieldTable)
+{
+    const auto fields = machineCounterFields();
+    ASSERT_FALSE(fields.empty());
+
+    MachineCounters c;
+    c.*(fields.front().member) = 7;
+    c.*(fields.back().member) = 42;
+
+    MetricsRegistry reg(2);
+    reg.ingest(c, /*node=*/1);
+
+    const std::string first = std::string("cmmu.") + fields.front().name;
+    const std::string last = std::string("cmmu.") + fields.back().name;
+    EXPECT_EQ(reg.counterTotal(reg.counterId(first)), 7u);
+    EXPECT_EQ(reg.counterTotal(reg.counterId(last)), 42u);
+
+    // Attribution landed on node 1, not node 0.
+    const exp::Json j = reg.toJson();
+    const exp::Json &per = j.at("counters").at(first).at("perNode");
+    ASSERT_EQ(per.size(), 2u);
+    EXPECT_EQ(per.at(0).asU64(), 0u);
+    EXPECT_EQ(per.at(1).asU64(), 7u);
+}
+
+TEST(Metrics, JsonIsSchemaVersioned)
+{
+    MetricsRegistry reg(3);
+    const exp::Json j = reg.toJson();
+    EXPECT_EQ(j.at("schema").asString(), "alewife-metrics");
+    EXPECT_EQ(j.at("version").asU64(),
+              static_cast<std::uint64_t>(kMetricsSchemaVersion));
+    EXPECT_EQ(j.at("nodes").asU64(), 3u);
+}
+
+TEST(Metrics, JsonKeyOrderIsRegistrationOrder)
+{
+    MetricsRegistry reg(1);
+    // Deliberately not alphabetical: export must follow registration.
+    reg.addCounter(reg.counterId("zeta"), 0);
+    reg.addCounter(reg.counterId("alpha"), 0);
+    reg.addCounter(reg.counterId("mid"), 0);
+
+    const exp::Json j = reg.toJson();
+    const auto &items = j.at("counters").items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, "zeta");
+    EXPECT_EQ(items[1].first, "alpha");
+    EXPECT_EQ(items[2].first, "mid");
+
+    // And the serialized form is stable call to call.
+    EXPECT_EQ(j.dump(2), reg.toJson().dump(2));
+}
+
+} // namespace
+} // namespace alewife::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * TraceWriter tests: the emitted document is valid JSON in Chrome
+ * trace-event object format, every async "b" has its matching "e", and
+ * each phase carries the fields Perfetto expects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "exp/json.hh"
+#include "obs/timeline.hh"
+
+namespace alewife::obs {
+namespace {
+
+exp::Json
+roundTrip(const TraceWriter &w)
+{
+    std::ostringstream os;
+    w.writeTo(os);
+    std::string err;
+    exp::Json doc = exp::Json::parse(os.str(), &err);
+    EXPECT_TRUE(doc.isObject()) << "parse error: " << err;
+    return doc;
+}
+
+TEST(Timeline, EmptyTraceIsAValidDocument)
+{
+    TraceWriter w;
+    const exp::Json doc = roundTrip(w);
+    EXPECT_TRUE(doc.has("displayTimeUnit"));
+    EXPECT_TRUE(doc.at("otherData").has("tsUnit"));
+    EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+}
+
+TEST(Timeline, CompleteSliceCarriesDurationInCycles)
+{
+    TraceWriter w;
+    // 300 ticks = 3 cycles at the default 100 ticks/cycle.
+    w.complete(2, 1, "compute", "proc", cyclesToTicks(5.0),
+               cyclesToTicks(8.0));
+    const exp::Json doc = roundTrip(w);
+    ASSERT_EQ(doc.at("traceEvents").size(), 1u);
+    const exp::Json &e = doc.at("traceEvents").at(0);
+    EXPECT_EQ(e.at("ph").asString(), "X");
+    EXPECT_EQ(e.at("pid").asU64(), 2u);
+    EXPECT_EQ(e.at("tid").asU64(), 1u);
+    EXPECT_EQ(e.at("name").asString(), "compute");
+    EXPECT_DOUBLE_EQ(e.at("ts").asDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(e.at("dur").asDouble(), 3.0);
+}
+
+TEST(Timeline, AsyncPairsAreMatchedByConstruction)
+{
+    TraceWriter w;
+    w.asyncPair(0, "pkt", "net", 7, 100, 900);
+    w.asyncPair(1, "pkt", "net", 8, 200, 400);
+    w.asyncPair(3, "txn", "coh", 7, 0, 50); // same id, other category
+
+    const exp::Json doc = roundTrip(w);
+    // Per (cat, id): begin count must equal end count, begin ts <= end.
+    std::map<std::pair<std::string, std::uint64_t>, int> open;
+    for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const exp::Json &e = doc.at("traceEvents").at(i);
+        const std::string ph = e.at("ph").asString();
+        if (ph != "b" && ph != "e")
+            continue;
+        const auto k = std::make_pair(e.at("cat").asString(),
+                                      e.at("id").asU64());
+        open[k] += ph == "b" ? 1 : -1;
+        EXPECT_GE(open[k], 0) << "e before b for " << k.first;
+    }
+    ASSERT_EQ(open.size(), 3u);
+    for (const auto &[k, n] : open)
+        EXPECT_EQ(n, 0) << "unmatched b for cat=" << k.first
+                        << " id=" << k.second;
+}
+
+TEST(Timeline, InstantAndCounterCarryArgs)
+{
+    TraceWriter w;
+    w.instant(0, 3, "hop", "net", 500, "waited_cycles", 2.5);
+    w.counter(4, "compute", "cycles", 1000, 123.0);
+
+    const exp::Json doc = roundTrip(w);
+    ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+    const exp::Json &i = doc.at("traceEvents").at(0);
+    EXPECT_EQ(i.at("ph").asString(), "i");
+    EXPECT_EQ(i.at("s").asString(), "t");
+    EXPECT_DOUBLE_EQ(i.at("args").at("waited_cycles").asDouble(), 2.5);
+    const exp::Json &c = doc.at("traceEvents").at(1);
+    EXPECT_EQ(c.at("ph").asString(), "C");
+    EXPECT_DOUBLE_EQ(c.at("args").at("cycles").asDouble(), 123.0);
+}
+
+TEST(Timeline, TrackNamesBecomeMetadataRecords)
+{
+    TraceWriter w;
+    w.processName(0, "node 0");
+    w.threadName(0, 1, "handlers");
+
+    const exp::Json doc = roundTrip(w);
+    ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+    const exp::Json &p = doc.at("traceEvents").at(0);
+    EXPECT_EQ(p.at("ph").asString(), "M");
+    EXPECT_EQ(p.at("name").asString(), "process_name");
+    EXPECT_EQ(p.at("args").at("name").asString(), "node 0");
+    const exp::Json &t = doc.at("traceEvents").at(1);
+    EXPECT_EQ(t.at("name").asString(), "thread_name");
+    EXPECT_EQ(t.at("args").at("name").asString(), "handlers");
+}
+
+} // namespace
+} // namespace alewife::obs

@@ -29,6 +29,7 @@ TEST(Trace, NamesMatchCategories)
     EXPECT_STREQ(traceCatName(TraceCat::Msg), "msg");
     EXPECT_STREQ(traceCatName(TraceCat::Proc), "proc");
     EXPECT_STREQ(traceCatName(TraceCat::Sync), "sync");
+    EXPECT_STREQ(traceCatName(TraceCat::Obs), "obs");
 }
 
 TEST(Trace, EnabledCategoryEmitsDuringSimulation)
