@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "ckpt/ckpt.hh"
+#include "ckpt/restore.hh"
 #include "core/runner.hh"
 #include "exp/json.hh"
 #include "obs/recorder.hh"
@@ -62,6 +64,12 @@ struct Row
     double wallSeconds = 0.0;
     double eventsPerSec = 0.0;
     double runtimeCycles = 0.0; ///< 0 for microbenches
+
+    // Checkpoint rows only.
+    std::uint64_t snapshotBytes = 0;
+    double mbPerSec = 0.0;
+    /** Simulated-cycle progress a periodic save's wall time forgoes. */
+    double pauseCyclesEquiv = 0.0;
 };
 
 // ---------------------------------------------------------------------
@@ -180,6 +188,109 @@ runWorkload(const std::string &name, const core::AppFactory &factory,
         static_cast<double>(res.simEvents) / row.wallSeconds;
     row.runtimeCycles = res.runtimeCycles;
     return row;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint save/restore throughput (src/ckpt/). Save = capture the
+// paused machine into the snapshot document; restore = replay a fresh
+// machine to the snapshot position and bit-audit it (the src/ckpt/
+// restore strategy). Both are normalized by the serialized snapshot
+// size, and save cost is also expressed as the simulated-cycle
+// progress its pause forgoes on this workload.
+// ---------------------------------------------------------------------
+
+/** Captures repeatedly at the midpoint, keeping the best save time. */
+struct CkptSaveProbe : alewife::core::RunDriver
+{
+    std::uint64_t at;
+    int repeat;
+    double bestSeconds = 0.0;
+    std::optional<ckpt::Snapshot> snap;
+
+    CkptSaveProbe(std::uint64_t at_, int repeat_)
+        : at(at_), repeat(repeat_)
+    {
+    }
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        m.start(f);
+        if (m.stepUntilEvents(at)) {
+            for (int r = 0; r < repeat; ++r) {
+                const double t0 = nowSeconds();
+                ckpt::Snapshot s = ckpt::save(m);
+                const double dt = nowSeconds() - t0;
+                if (r == 0 || dt < bestSeconds)
+                    bestSeconds = dt;
+                if (r == 0)
+                    snap = std::move(s);
+            }
+        }
+        while (m.stepOne()) {
+        }
+        return m.finishRun();
+    }
+};
+
+/** Times the replay+audit restore of one snapshot. */
+struct CkptRestoreProbe : alewife::core::RunDriver
+{
+    const ckpt::Snapshot &snap;
+    double seconds = 0.0;
+
+    explicit CkptRestoreProbe(const ckpt::Snapshot &s) : snap(s) {}
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        const double t0 = nowSeconds();
+        const ckpt::ResumeResult r = ckpt::resume(m, f, snap);
+        seconds = nowSeconds() - t0;
+        if (!r.ok) {
+            std::fprintf(stderr, "perf_kernel: %s\n", r.error.c_str());
+            std::abort();
+        }
+        while (m.stepOne()) {
+        }
+        return m.finishRun();
+    }
+};
+
+std::pair<Row, Row>
+runCkpt(const core::AppFactory &factory, const Row &straight, int repeat)
+{
+    const core::RunSpec spec; // SM at the base machine, like straight
+
+    CkptSaveProbe saver(straight.events / 2, repeat);
+    core::runApp(factory, spec, true, nullptr, &saver);
+    const std::uint64_t bytes = saver.snap->doc.dump(1).size();
+
+    Row save;
+    save.name = "ckpt_save";
+    save.events = saver.at;
+    save.wallSeconds = saver.bestSeconds;
+    save.snapshotBytes = bytes;
+    save.mbPerSec =
+        static_cast<double>(bytes) / 1e6 / saver.bestSeconds;
+    save.pauseCyclesEquiv = saver.bestSeconds * straight.runtimeCycles
+                            / straight.wallSeconds;
+
+    Row restore;
+    restore.name = "ckpt_restore";
+    restore.events = saver.at;
+    restore.snapshotBytes = bytes;
+    for (int r = 0; r < repeat; ++r) {
+        CkptRestoreProbe probe(*saver.snap);
+        core::runApp(factory, spec, true, nullptr, &probe);
+        if (r == 0 || probe.seconds < restore.wallSeconds)
+            restore.wallSeconds = probe.seconds;
+    }
+    restore.eventsPerSec =
+        static_cast<double>(restore.events) / restore.wallSeconds;
+    restore.mbPerSec =
+        static_cast<double>(bytes) / 1e6 / restore.wallSeconds;
+    return {save, restore};
 }
 
 // ---------------------------------------------------------------------
@@ -319,6 +430,19 @@ main(int argc, char **argv)
         "fig08_em3d_mpi", apps::Em3d::factory(fig08Params),
         core::Mechanism::MpInterrupt, 8.0));
 
+    // --- checkpoint save/restore throughput ---
+    {
+        const Row *em3d = nullptr;
+        for (const auto &r : rows)
+            if (r.name == "em3d_sm")
+                em3d = &r;
+        const auto [save, restore] = runCkpt(
+            apps::Em3d::factory(bench::em3dParams(scale)), *em3d,
+            repeat);
+        rows.push_back(save);
+        rows.push_back(restore);
+    }
+
     // --- report ---
     std::printf("%-18s %12s %10s %14s %14s\n", "benchmark", "events",
                 "wall (s)", "events/sec", "cycles");
@@ -327,6 +451,15 @@ main(int argc, char **argv)
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.events),
                     r.wallSeconds, r.eventsPerSec, r.runtimeCycles);
+        if (r.snapshotBytes > 0) {
+            std::printf("  %-16s %.2f MB snapshot, %.1f MB/s",
+                        "", static_cast<double>(r.snapshotBytes) / 1e6,
+                        r.mbPerSec);
+            if (r.pauseCyclesEquiv > 0.0)
+                std::printf(", ~%.0f cycles paused/save",
+                            r.pauseCyclesEquiv);
+            std::printf("\n");
+        }
     }
 
     auto doc = exp::Json::object();
@@ -346,6 +479,12 @@ main(int argc, char **argv)
         o.set("events_per_sec", r.eventsPerSec);
         if (r.runtimeCycles > 0.0)
             o.set("runtime_cycles", r.runtimeCycles);
+        if (r.snapshotBytes > 0) {
+            o.set("snapshot_bytes", r.snapshotBytes);
+            o.set("mb_per_sec", r.mbPerSec);
+            if (r.pauseCyclesEquiv > 0.0)
+                o.set("pause_cycles_equiv", r.pauseCyclesEquiv);
+        }
         arr.push(std::move(o));
     }
     doc.set("results", std::move(arr));

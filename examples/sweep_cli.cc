@@ -44,6 +44,7 @@
 #include "core/report.hh"
 #include "exp/result_cache.hh"
 #include "exp/serialize.hh"
+#include "exp/warm_start.hh"
 
 using namespace alewife;
 
@@ -61,6 +62,9 @@ struct Options
     std::string cacheDir; ///< on-disk result cache; "" = no cache
     bool progress = false;
     obs::RecorderOptions obs; ///< --trace-out/--metrics-out/--obs-interval
+    std::string ckptDir;      ///< crash tolerance: periodic snapshots
+    double ckptInterval = 2'000'000.0; ///< snapshot period (sim cycles)
+    std::uint64_t warmStart = 0; ///< warm-start fork point (sim events)
 };
 
 std::vector<std::string>
@@ -93,7 +97,17 @@ usage()
            "                 [--metrics-out file.json] (metrics "
            "registry; sweep-merged)\n"
            "                 [--obs-interval cycles]   (interval "
-           "profiling period)\n";
+           "profiling period)\n"
+           "                 [--ckpt-dir dir]      (crash tolerance: "
+           "periodic snapshots,\n"
+           "                                        resume killed jobs "
+           "from the last one)\n"
+           "                 [--ckpt-interval cyc] (snapshot period, "
+           "default 2000000)\n"
+           "                 [--warm-start events] (ideal-latency only: "
+           "fork every\n"
+           "                                        latency variant "
+           "from one snapshot)\n";
     std::exit(2);
 }
 
@@ -169,6 +183,21 @@ parse(int argc, char **argv)
             o.out = next();
         } else if (a == "--cache-dir") {
             o.cacheDir = next();
+        } else if (a == "--ckpt-dir") {
+            o.ckptDir = next();
+        } else if (a == "--ckpt-interval") {
+            const std::string v = next();
+            o.ckptInterval = parseNum("--ckpt-interval", v);
+            if (o.ckptInterval <= 0)
+                badValue("--ckpt-interval value", v,
+                         "a positive cycle count");
+        } else if (a == "--warm-start") {
+            const std::string v = next();
+            const double events = parseNum("--warm-start", v);
+            if (events < 1)
+                badValue("--warm-start value", v,
+                         "a positive event count");
+            o.warmStart = static_cast<std::uint64_t>(events);
         } else if (a == "--trace-out") {
             o.obs.traceOut = next();
         } else if (a == "--metrics-out") {
@@ -193,6 +222,53 @@ parse(int argc, char **argv)
         o.mechs.assign(all.begin(), all.end());
     }
     return o;
+}
+
+/**
+ * Ideal-latency sweep through one warm-start fork per shared-memory
+ * mechanism: the base run executes at the first latency point, every
+ * other point resumes from the snapshot captured at @p forkEvents and
+ * switches only the (restore-safe) emulated latency. Message-passing
+ * mechanisms are latency-insensitive here and run once, flat, exactly
+ * as in the cold idealLatencySweep.
+ */
+std::vector<core::MechSeries>
+warmIdealLatencySweep(const core::AppFactory &factory,
+                      const MachineConfig &base,
+                      const std::vector<core::Mechanism> &mechs,
+                      const std::vector<double> &latencies,
+                      std::uint64_t forkEvents)
+{
+    std::vector<core::MechSeries> out;
+    for (core::Mechanism m : mechs) {
+        core::MechSeries s;
+        s.mech = m;
+        if (core::isSharedMemory(m)) {
+            exp::WarmStartSweep sweep;
+            sweep.base.machine = base;
+            sweep.base.machine.idealNet = true;
+            sweep.base.machine.idealNetLatencyCycles = latencies[0];
+            sweep.base.mechanism = m;
+            sweep.forkEvents = forkEvents;
+            for (std::size_t i = 1; i < latencies.size(); ++i) {
+                MachineConfig v = sweep.base.machine;
+                v.idealNetLatencyCycles = latencies[i];
+                sweep.variants.push_back(std::move(v));
+            }
+            const auto results = exp::runWarmStartSweep(factory, sweep);
+            for (std::size_t i = 0; i < latencies.size(); ++i)
+                s.points.push_back({latencies[i], results[i]});
+        } else {
+            core::RunSpec spec;
+            spec.machine = base;
+            spec.mechanism = m;
+            const auto r = core::runApp(factory, spec);
+            for (double lat : latencies)
+                s.points.push_back({lat, r});
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
 }
 
 core::AppFactory
@@ -271,6 +347,14 @@ main(int argc, char **argv)
         opts.appKey = key.str();
     }
     opts.obs = o.obs;
+    opts.ckptDir = o.ckptDir;
+    opts.ckptIntervalCycles = o.ckptInterval;
+    if (o.warmStart > 0 && o.sweep != "ideal-latency") {
+        std::cerr << "sweep_cli: --warm-start only applies to "
+                     "--sweep ideal-latency (the emulated latency is "
+                     "the one restore-safe sweep knob)\n\n";
+        usage();
+    }
     if (o.progress) {
         opts.onProgress = [](const exp::Progress &p) {
             std::cerr << "  [" << p.done << "/" << p.queued << "] "
@@ -326,8 +410,11 @@ main(int argc, char **argv)
         auto pts = o.points.empty()
                        ? std::vector<double>{15, 100, 400}
                        : o.points;
-        series =
-            core::idealLatencySweep(factory, base, o.mechs, pts, opts);
+        series = o.warmStart > 0
+                     ? warmIdealLatencySweep(factory, base, o.mechs,
+                                             pts, o.warmStart)
+                     : core::idealLatencySweep(factory, base, o.mechs,
+                                               pts, opts);
         xlabel = "latency (cyc)";
     } else {
         badValue("--sweep", o.sweep, kValidSweeps);

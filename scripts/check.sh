@@ -5,6 +5,8 @@
 #   3. TSan build + the parallel-engine suites (exp_test)
 #   4. short check_fuzz corpus (schedule-perturbation + auditor)
 #   5. observability smoke: tiny EM3D sweep with trace + metrics out
+#   6. checkpoint smokes: warm-start sweep equals cold sweep, and a
+#      kill -9 mid-run resumes from the last periodic snapshot
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer builds (tier-1 + fuzz corpus only)
@@ -29,6 +31,12 @@ if [[ "$FAST" -eq 0 ]]; then
     cmake --build build-asan -j "$JOBS"
     ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
+    # The full ctest pass above includes the ckpt label; this explicit
+    # run guards the label itself (a save->restore->run sequence that
+    # leaks or reads stale state must fail here, visibly).
+    step "ASan/UBSan: ckpt label (save->restore->run)"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure -L ckpt
+
     step "TSan: build + parallel-engine and kernel-pool suites"
     cmake -B build-tsan -S . -DALEWIFE_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
@@ -42,6 +50,38 @@ fi
 step "check_fuzz: short corpus"
 ./build/bench/check_fuzz --seeds 4 --ops 100
 ./build/bench/check_fuzz --inject-bug
+
+step "warm-start smoke: forked sweep matches cold sweep"
+COLD="$(./build/examples/sweep_cli --app stream --mechs SM,MP-I \
+    --sweep ideal-latency --points 15,100,400)"
+WARM="$(./build/examples/sweep_cli --app stream --mechs SM,MP-I \
+    --sweep ideal-latency --points 15,100,400 --warm-start 500)"
+[[ "$COLD" == "$WARM" ]] \
+    || { echo "warm-start smoke: forked sweep diverged from cold run"; \
+         exit 1; }
+
+step "crash-tolerance smoke: kill sweep_cli, resume from snapshot"
+CKPT_DIR="$(mktemp -d)"
+./build/examples/sweep_cli --app moldyn --mechs SM --sweep none \
+    --scale 6 --ckpt-dir "$CKPT_DIR" --ckpt-interval 500000 \
+    >/dev/null 2>&1 &
+CKPT_PID=$!
+sleep 2
+kill -9 "$CKPT_PID" 2>/dev/null || true
+wait "$CKPT_PID" 2>/dev/null || true
+ls "$CKPT_DIR"/*-latest.ckpt.json >/dev/null 2>&1 \
+    || { echo "ckpt smoke: killed run left no snapshot"; exit 1; }
+# The restarted job must resume from the snapshot (audited bit-level
+# against the replay), finish verified, and remove its snapshot.
+./build/examples/sweep_cli --app moldyn --mechs SM --sweep none \
+    --scale 6 --ckpt-dir "$CKPT_DIR" --ckpt-interval 500000 \
+    | grep -q "yes" \
+    || { echo "ckpt smoke: resumed run did not verify"; exit 1; }
+if ls "$CKPT_DIR"/*-latest.ckpt.json >/dev/null 2>&1; then
+    echo "ckpt smoke: snapshot not removed after successful resume"
+    exit 1
+fi
+rm -rf "$CKPT_DIR"
 
 step "observability smoke: EM3D with trace + metrics"
 OBS_DIR="$(mktemp -d)"

@@ -1,0 +1,29 @@
+#include "ckpt/ckpt.hh"
+
+#include "ckpt/access.hh"
+#include "sim/logging.hh"
+
+namespace alewife::ckpt {
+
+CaptureResult
+capture(const Machine &m)
+{
+    return Access::capture(m);
+}
+
+Snapshot
+save(const Machine &m)
+{
+    CaptureResult r = Access::capture(m);
+    if (!r.ok())
+        ALEWIFE_FATAL(r.error);
+    return std::move(*r.snap);
+}
+
+std::vector<std::string>
+verify(const Machine &m, const Snapshot &snap)
+{
+    return Access::verify(m, snap);
+}
+
+} // namespace alewife::ckpt

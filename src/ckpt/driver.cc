@@ -1,0 +1,83 @@
+#include "ckpt/driver.hh"
+
+#include <filesystem>
+
+#include "sim/logging.hh"
+
+namespace alewife::ckpt {
+
+Tick
+CheckpointDriver::drive(Machine &m, const Machine::ProgramFactory &f)
+{
+    resumed_ = false;
+    saved_ = 0;
+
+    if (!opts_.path.empty() && opts_.resume &&
+        std::filesystem::exists(opts_.path)) {
+        std::string err;
+        std::optional<Snapshot> snap = loadFile(opts_.path, &err);
+        if (!snap) {
+            // Unreadable or wrong-schema snapshot: start over rather
+            // than fail the job (the file is only an optimization).
+            ALEWIFE_WARN("ckpt: ignoring snapshot: ", err);
+        } else if (snap->configKey() != m.config().canonicalKey()) {
+            ALEWIFE_WARN("ckpt: ignoring snapshot '", opts_.path,
+                        "': config mismatch");
+        } else {
+            ResumeResult r = resume(m, f, *snap);
+            if (!r.ok) {
+                // A failed audit means the snapshot does not describe
+                // this (machine, program) — a bug, not a stale file.
+                ALEWIFE_FATAL(r.error);
+            }
+            resumed_ = true;
+        }
+    }
+    if (!resumed_)
+        m.start(f);
+
+    const bool saving = !opts_.path.empty() && opts_.intervalCycles > 0.0;
+    const Tick interval =
+        saving ? cyclesToTicks(opts_.intervalCycles) : Tick{0};
+    Tick nextSave = saving ? m.eq().now() + interval : Tick{0};
+
+    while (m.stepOne()) {
+        if (saving && m.eq().now() >= nextSave) {
+            saveFile(save(m), opts_.path);
+            ++saved_;
+            nextSave = m.eq().now() + interval;
+        }
+    }
+    const Tick finish = m.finishRun();
+
+    if (!opts_.path.empty() && opts_.deleteOnSuccess) {
+        std::error_code ec;
+        std::filesystem::remove(opts_.path, ec);
+    }
+    return finish;
+}
+
+Tick
+ForkPointDriver::drive(Machine &m, const Machine::ProgramFactory &f)
+{
+    snap_.reset();
+    m.start(f);
+    if (m.stepUntilEvents(forkEvents_))
+        snap_ = save(m);
+    while (m.stepOne()) {
+    }
+    return m.finishRun();
+}
+
+Tick
+WarmStartDriver::drive(Machine &m, const Machine::ProgramFactory &f)
+{
+    ResumeResult r = resumeWarm(m, f, snap_, variant_);
+    if (!r.ok)
+        ALEWIFE_FATAL(r.error);
+    while (m.stepOne()) {
+    }
+    return m.finishRun();
+}
+
+} // namespace alewife::ckpt

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * core::RunDriver implementations backed by the checkpoint subsystem.
+ *
+ * CheckpointDriver gives a run crash tolerance: it saves a snapshot
+ * file every N simulated cycles (atomically, so a kill mid-save never
+ * corrupts the previous one) and, when started over an existing
+ * snapshot, resumes from it instead of silently starting over. A sweep
+ * worker killed at any point therefore re-enters at its last snapshot,
+ * passes the restore audit, and finishes with results bit-identical to
+ * an uninterrupted run.
+ *
+ * ForkPointDriver and WarmStartDriver are the two halves of a
+ * warm-start sweep (exp/warm_start.hh): the first runs the base
+ * configuration and captures an in-memory snapshot at a chosen event
+ * count, the second replays variants from that snapshot under
+ * restore-safe config deltas.
+ */
+
+#ifndef ALEWIFE_CKPT_DRIVER_HH
+#define ALEWIFE_CKPT_DRIVER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ckpt/restore.hh"
+#include "core/runner.hh"
+
+namespace alewife::ckpt {
+
+/**
+ * Periodic-snapshot + resume-from-file driver.
+ */
+class CheckpointDriver : public core::RunDriver
+{
+  public:
+    struct Options
+    {
+        /** Snapshot file; "" disables both saving and resuming. */
+        std::string path;
+        /** Save every this many simulated cycles; 0 disables saves. */
+        double intervalCycles = 0.0;
+        /** Resume from `path` when it holds a matching snapshot. */
+        bool resume = true;
+        /** Remove `path` once the run completes (job-done marker). */
+        bool deleteOnSuccess = true;
+    };
+
+    explicit CheckpointDriver(Options o) : opts_(std::move(o)) {}
+
+    Tick drive(Machine &m, const Machine::ProgramFactory &f) override;
+
+    /** True if drive() started from an existing snapshot. */
+    bool resumed() const { return resumed_; }
+
+    /** Snapshots written by the last drive(). */
+    std::uint64_t snapshotsSaved() const { return saved_; }
+
+  private:
+    Options opts_;
+    bool resumed_ = false;
+    std::uint64_t saved_ = 0;
+};
+
+/**
+ * Runs the machine to completion, capturing one in-memory snapshot
+ * the moment the executed-event count reaches forkEvents.
+ */
+class ForkPointDriver : public core::RunDriver
+{
+  public:
+    explicit ForkPointDriver(std::uint64_t fork_events)
+        : forkEvents_(fork_events)
+    {
+    }
+
+    Tick drive(Machine &m, const Machine::ProgramFactory &f) override;
+
+    /** The captured fork snapshot; set iff the run reached forkEvents. */
+    const std::optional<Snapshot> &snapshot() const { return snap_; }
+
+  private:
+    std::uint64_t forkEvents_;
+    std::optional<Snapshot> snap_;
+};
+
+/**
+ * Resumes a machine from a snapshot, switches it to a restore-safe
+ * variant configuration, and runs it to completion. The machine must
+ * be constructed with the snapshot's original configuration (resumeWarm
+ * requirements apply).
+ */
+class WarmStartDriver : public core::RunDriver
+{
+  public:
+    WarmStartDriver(const Snapshot &snap, MachineConfig variant)
+        : snap_(snap), variant_(std::move(variant))
+    {
+    }
+
+    Tick drive(Machine &m, const Machine::ProgramFactory &f) override;
+
+  private:
+    const Snapshot &snap_;
+    MachineConfig variant_;
+};
+
+} // namespace alewife::ckpt
+
+#endif // ALEWIFE_CKPT_DRIVER_HH

@@ -1,0 +1,136 @@
+#include "ckpt/snapshot.hh"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace alewife::ckpt {
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+std::uint64_t
+parseHexU64(const std::string &s)
+{
+    if (s.size() != 18 || s[0] != '0' || s[1] != 'x')
+        ALEWIFE_FATAL("ckpt: malformed hex word '", s, "'");
+    std::uint64_t v = 0;
+    for (std::size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        std::uint64_t nib;
+        if (c >= '0' && c <= '9')
+            nib = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nib = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            ALEWIFE_FATAL("ckpt: malformed hex word '", s, "'");
+        v = (v << 4) | nib;
+    }
+    return v;
+}
+
+std::uint64_t
+Snapshot::eventsExecuted() const
+{
+    return parseHexU64(doc.at("kernel").at("executed").asString());
+}
+
+Tick
+Snapshot::now() const
+{
+    return parseHexU64(doc.at("kernel").at("now").asString());
+}
+
+const std::string &
+Snapshot::configKey() const
+{
+    return doc.at("config").at("key").asString();
+}
+
+std::uint64_t
+Snapshot::sectionDigest(const std::string &section) const
+{
+    return parseHexU64(doc.at("digests").at(section).asString());
+}
+
+void
+saveFile(const Snapshot &s, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const fs::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        fs::create_directories(p.parent_path(), ec);
+
+    // Write-temp-then-rename so a crashed or killed writer never leaves
+    // a torn snapshot where a resuming sweep worker would look for one.
+    static std::atomic<std::uint64_t> tmpSeq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(tmpSeq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            ALEWIFE_FATAL("ckpt: cannot write '", tmp, "'");
+        out << s.doc.dump(1) << '\n';
+        out.flush();
+        if (!out)
+            ALEWIFE_FATAL("ckpt: short write to '", tmp, "'");
+    }
+    fs::rename(tmp, p, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        ALEWIFE_FATAL("ckpt: cannot rename snapshot into '", path,
+                      "'");
+    }
+}
+
+std::optional<Snapshot>
+loadFile(const std::string &path, std::string *err)
+{
+    auto fail = [&](const std::string &why) -> std::optional<Snapshot> {
+        if (err)
+            *err = why;
+        return std::nullopt;
+    };
+
+    std::ifstream in(path);
+    if (!in)
+        return fail("ckpt: cannot open '" + path + "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    std::string perr;
+    Snapshot s;
+    s.doc = exp::Json::parse(ss.str(), &perr);
+    if (s.doc.isNull())
+        return fail("ckpt: parse error in '" + path + "': " + perr);
+    if (!s.doc.isObject())
+        return fail("ckpt: '" + path + "' is not a snapshot object");
+
+    const exp::Json *schema = s.doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kCkptSchemaName)
+        return fail("ckpt: '" + path + "' has wrong schema tag");
+    const exp::Json *version = s.doc.find("version");
+    if (!version || !version->isNumber() ||
+        static_cast<int>(version->asDouble()) != kCkptSchemaVersion)
+        return fail("ckpt: '" + path + "' has unsupported version");
+    for (const char *sec :
+         {"config", "kernel", "events", "digests"})
+        if (!s.doc.find(sec))
+            return fail(std::string("ckpt: '") + path +
+                        "' is missing section '" + sec + "'");
+    return s;
+}
+
+} // namespace alewife::ckpt

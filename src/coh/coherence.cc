@@ -20,6 +20,39 @@ static_assert(
     })>(),
     "ProtoMsg capture exceeds kEventCallbackBytes; bump the constant");
 
+namespace {
+
+/**
+ * Typed record for a pending event that holds a ProtoMsg by value.
+ * The closure itself is not serializable, so the record carries the
+ * message identity (node, type, requester, line) — enough for the
+ * checkpoint audit to bit-compare a replayed queue against a captured
+ * one; the message *content* is implied by deterministic replay.
+ */
+EventMeta
+protoMeta(EventTag tag, NodeId node, const ProtoMsg &m)
+{
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+        | (static_cast<std::uint64_t>(m.type) << 32)
+        | (static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               m.requester))
+           << 48);
+    return EventMeta{tag, a, m.lineAddr};
+}
+
+/** Record for a fill-completion event (line + exclusivity). */
+EventMeta
+fillMeta(NodeId node, Addr line, bool ex)
+{
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+        | (static_cast<std::uint64_t>(ex ? 1 : 0) << 32);
+    return EventMeta{EventTag::CohFill, a, line};
+}
+
+} // namespace
+
 CoherenceController::CoherenceController(
     NodeId self, EventQueue &eq, const MachineConfig &cfg,
     mem::AddressSpace &mem, mem::Cache &cache, proc::PrefetchBuffer &pfb,
@@ -156,7 +189,11 @@ CoherenceController::sendProto(NodeId dst, ProtoMsg msg, Tick when)
     if (dst == self_) {
         // CMMU-internal: no network traversal, but still serialized
         // through the receive path for occupancy.
-        eq_.schedule(when, [this, m = std::move(msg)]() mutable {
+        // Hoisted: the capture moves `msg`, and argument evaluation
+        // order relative to the capture-init is unspecified.
+        const EventMeta meta =
+            protoMeta(EventTag::CohLocalDeliver, self_, msg);
+        eq_.schedule(when, meta, [this, m = std::move(msg)]() mutable {
             receive(std::move(m));
         });
         return;
@@ -166,9 +203,12 @@ CoherenceController::sendProto(NodeId dst, ProtoMsg msg, Tick when)
         mesh_.send(std::move(pkt));
     } else {
         auto *raw = pkt.release();
-        eq_.schedule(when, [this, raw]() {
-            mesh_.send(std::unique_ptr<net::Packet>(raw));
-        });
+        eq_.schedule(when,
+                     EventMeta{EventTag::CohPacketLaunch,
+                               reinterpret_cast<std::uintptr_t>(raw), 0},
+                     [this, raw]() {
+                         mesh_.send(std::unique_ptr<net::Packet>(raw));
+                     });
     }
 }
 
@@ -556,7 +596,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::GetS:
       case MsgType::GetX: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             homeRequest(std::move(m));
@@ -566,7 +607,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::WbData:
       case MsgType::WbEvict: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             homeWriteback(m);
@@ -575,7 +617,8 @@ CoherenceController::receive(ProtoMsg msg)
       }
       case MsgType::RecallNoData: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             // The matching WbEvict is ordered ahead of this message and
@@ -589,7 +632,8 @@ CoherenceController::receive(ProtoMsg msg)
       }
       case MsgType::InvAck: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             homeInvAck(m);
@@ -598,7 +642,8 @@ CoherenceController::receive(ProtoMsg msg)
       }
       case MsgType::Inv: {
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             cacheInv(m);
@@ -609,7 +654,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::RecallX: {
         const bool ex = msg.type == MsgType::RecallX;
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
-        eq_.schedule(at, [this, ex, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, ex, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             cacheRecall(m, ex);
@@ -620,7 +666,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::FwdGetX: {
         const bool ex = msg.type == MsgType::FwdGetX;
         const Tick at = cmmuSlot(cfg_.invProcessCycles);
-        eq_.schedule(at, [this, ex, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, ex, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             cacheForward(m, ex);
@@ -629,7 +676,8 @@ CoherenceController::receive(ProtoMsg msg)
       }
       case MsgType::FwdAck: {
         const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-        eq_.schedule(at, [this, m = std::move(msg)]() mutable {
+        const EventMeta meta = protoMeta(EventTag::CohProcess, self_, msg);
+        eq_.schedule(at, meta, [this, m = std::move(msg)]() mutable {
             if (hooks_)
                 hooks_->onProtoProcess(self_, m);
             homeFwdAck(m);
@@ -640,7 +688,8 @@ CoherenceController::receive(ProtoMsg msg)
       case MsgType::DataX: {
         const bool ex = msg.type == MsgType::DataX;
         const Tick at = eq_.now() + cyclesToTicks(cfg_.replyConsumeCycles);
-        eq_.schedule(at, [this, ex, m = std::move(msg)]() mutable {
+        const EventMeta meta = fillMeta(self_, msg.lineAddr, ex);
+        eq_.schedule(at, meta, [this, ex, m = std::move(msg)]() mutable {
             fillArrived(m.lineAddr, ex, std::move(m.words));
         });
         break;
@@ -683,7 +732,8 @@ CoherenceController::homeMaybeDrain(Addr line)
     ProtoMsg next = std::move(e.queue.front());
     e.queue.pop_front();
     const Tick at = cmmuSlot(cfg_.homeOccupancyCycles);
-    eq_.schedule(at, [this, m = std::move(next)]() mutable {
+    const EventMeta meta = protoMeta(EventTag::CohHomeDrain, self_, next);
+    eq_.schedule(at, meta, [this, m = std::move(next)]() mutable {
         homeRequest(std::move(m));
     });
 }
@@ -727,7 +777,7 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             dispatch = local_floor(when);
             if (hooks_)
                 hooks_->onLocalGrant(self_, line, ex);
-            eq_.schedule(dispatch,
+            eq_.schedule(dispatch, fillMeta(self_, line, ex),
                          [this, line, ex, w = std::move(r.words)]() mutable {
                              fillArrived(line, ex, std::move(w));
                          });
@@ -747,6 +797,10 @@ CoherenceController::homeServe(const ProtoMsg &msg)
             if (hooks_)
                 hooks_->onTxnOpen(self_, line, *e.txn);
             eq_.schedule(dispatch,
+                         EventMeta{EventTag::CohHomeComplete,
+                                   static_cast<std::uint64_t>(
+                                       static_cast<std::uint32_t>(self_)),
+                                   line},
                          [this, line]() { homeComplete(line); });
         }
     };
@@ -903,7 +957,7 @@ CoherenceController::homeWriteback(const ProtoMsg &msg)
                 if (hooks_)
                     hooks_->onLocalGrant(self_, line, ex);
                 eq_.schedule(
-                    eq_.now(),
+                    eq_.now(), fillMeta(self_, line, ex),
                     [this, line, ex, w = std::move(r.words)]() mutable {
                         fillArrived(line, ex, std::move(w));
                     });
@@ -953,7 +1007,7 @@ CoherenceController::homeInvAck(const ProtoMsg &msg)
         const Addr line = msg.lineAddr;
         if (hooks_)
             hooks_->onLocalGrant(self_, line, true);
-        eq_.schedule(eq_.now(),
+        eq_.schedule(eq_.now(), fillMeta(self_, line, true),
                      [this, line, w = std::move(r.words)]() mutable {
                          fillArrived(line, true, std::move(w));
                      });

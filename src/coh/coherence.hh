@@ -42,6 +42,10 @@ namespace alewife::check {
 class Hooks;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::coh {
 
 /**
@@ -155,6 +159,9 @@ class CoherenceController
     void debugInjectFaults(const DebugFaults &f) { faults_ = f; }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     // --- requester-side machinery ---
 
     struct DemandWaiter

@@ -21,6 +21,10 @@
 #include "coh/proto.hh"
 #include "sim/types.hh"
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::coh {
 
 /** Stable directory state of one line. */
@@ -88,6 +92,9 @@ class Directory
     }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     std::unordered_map<Addr, DirEntry> entries_;
 };
 

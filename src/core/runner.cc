@@ -19,7 +19,7 @@ RunResult::avgCycles(TimeCat c) const
 
 RunResult
 runApp(App &app, const RunSpec &spec, bool verify_fatal,
-       check::InvariantAuditor *auditor)
+       check::InvariantAuditor *auditor, RunDriver *driver)
 {
     Machine m(spec.machine, syncStyle(spec.mechanism),
               recvMode(spec.mechanism));
@@ -54,8 +54,10 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
 
     app.setup(m, spec.mechanism);
 
+    const Machine::ProgramFactory programs =
+        [&app](proc::Ctx &ctx) { return app.program(ctx); };
     const Tick finish =
-        m.run([&app](proc::Ctx &ctx) { return app.program(ctx); });
+        driver ? driver->drive(m, programs) : m.run(programs);
 
     if (auditor)
         auditor->finalize();
@@ -94,10 +96,10 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
 
 RunResult
 runApp(const AppFactory &factory, const RunSpec &spec, bool verify_fatal,
-       check::InvariantAuditor *auditor)
+       check::InvariantAuditor *auditor, RunDriver *driver)
 {
     auto app = factory();
-    return runApp(*app, spec, verify_fatal, auditor);
+    return runApp(*app, spec, verify_fatal, auditor, driver);
 }
 
 } // namespace alewife::core

@@ -14,6 +14,7 @@
 #include "core/app.hh"
 #include "core/mechanism.hh"
 #include "machine/config.hh"
+#include "machine/machine.hh"
 #include "net/cross_traffic.hh"
 #include "obs/options.hh"
 #include "sim/stats.hh"
@@ -75,19 +76,42 @@ struct RunSpec
 };
 
 /**
+ * Seam into runApp's machine-driving loop. Without a driver runApp
+ * calls Machine::run(); with one it delegates the whole launch-step-
+ * finish sequence, which is how the checkpoint subsystem pauses a run
+ * at precise event counts (periodic snapshots) or starts it from a
+ * snapshot instead of from scratch (resume, warm-start). A driver must
+ * leave the machine fully finished (Machine::finishRun() called) and
+ * return the finish tick, so every statistic runApp collects afterwards
+ * means the same thing on every path.
+ */
+class RunDriver
+{
+  public:
+    virtual ~RunDriver() = default;
+
+    /** Drive @p m from fresh state to completion. */
+    virtual Tick drive(Machine &m, const Machine::ProgramFactory &f) = 0;
+};
+
+/**
  * Run @p app under @p spec.
  * @param verify_fatal abort (vs. just flag) on checksum mismatch
  * @param auditor externally owned auditor to attach (e.g. one that
  *        collects violations instead of aborting); when null and
  *        spec.audit is set, an aborting auditor is used internally
+ * @param driver optional machine-driving seam (checkpointing); null
+ *        uses Machine::run()
  */
 RunResult runApp(App &app, const RunSpec &spec, bool verify_fatal = true,
-                 check::InvariantAuditor *auditor = nullptr);
+                 check::InvariantAuditor *auditor = nullptr,
+                 RunDriver *driver = nullptr);
 
 /** Convenience: build an App from a factory and run it. */
 RunResult runApp(const AppFactory &factory, const RunSpec &spec,
                  bool verify_fatal = true,
-                 check::InvariantAuditor *auditor = nullptr);
+                 check::InvariantAuditor *auditor = nullptr,
+                 RunDriver *driver = nullptr);
 
 } // namespace alewife::core
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/snapshot.hh"
 #include "exp/serialize.hh"
 #include "sim/logging.hh"
 
@@ -38,7 +39,15 @@ ResultCache::key(const core::RunSpec &spec, const std::string &appKey)
                   "crossBpc=%.17g;crossMsgBytes=%u;",
                   spec.crossTraffic.bytesPerCycle,
                   spec.crossTraffic.messageBytes);
-    return appKey + "|" + core::mechanismShortName(spec.mechanism) + "|"
+    // The key carries both serialization schema versions: results
+    // cached under an older result layout *or* an older checkpoint
+    // format (crash-tolerant sweeps may have produced them via
+    // resume) are invalidated together by either version bump.
+    const std::string schemas =
+        "rs" + std::to_string(kResultSchemaVersion) + ".cs" +
+        std::to_string(ckpt::kCkptSchemaVersion);
+    return schemas + "|" + appKey + "|"
+           + core::mechanismShortName(spec.mechanism) + "|"
            + spec.machine.canonicalKey() + "|" + cross;
 }
 

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "ckpt/driver.hh"
 #include "exp/json.hh"
 #include "exp/result_cache.hh"
 #include "sim/logging.hh"
@@ -99,7 +101,27 @@ SweepEngine::run(const std::vector<Job> &jobs)
                 spec.obs.flightOut =
                     obs::withPathTag(spec.obs.flightOut, tag);
         }
-        results[i] = core::runApp(job.app, spec, opts_.verifyFatal);
+        if (!opts_.ckptDir.empty()) {
+            // Stable per-job snapshot path: batch position + workload
+            // + spec identity, so a restarted process finds the same
+            // file for the same job and never another job's.
+            const std::string jobKey =
+                std::to_string(i) + "|" + job.appKey + "|" +
+                core::mechanismShortName(job.spec.mechanism) + "|" +
+                job.spec.machine.canonicalKey();
+            char hash[20];
+            std::snprintf(hash, sizeof(hash), "%016llx",
+                          static_cast<unsigned long long>(
+                              fnv1a64(jobKey)));
+            ckpt::CheckpointDriver driver(
+                {opts_.ckptDir + "/" + hash + "-latest.ckpt.json",
+                 opts_.ckptIntervalCycles, /*resume=*/true,
+                 /*deleteOnSuccess=*/true});
+            results[i] = core::runApp(job.app, spec, opts_.verifyFatal,
+                                      nullptr, &driver);
+        } else {
+            results[i] = core::runApp(job.app, spec, opts_.verifyFatal);
+        }
         if (opts_.cache) {
             const std::string key =
                 ResultCache::key(job.spec, job.appKey);

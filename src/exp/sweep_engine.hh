@@ -100,6 +100,18 @@ struct EngineOptions
      * would skip writing the requested files) but still store.
      */
     obs::RecorderOptions obs;
+    /**
+     * Crash tolerance: when non-empty, every job periodically saves a
+     * snapshot to <ckptDir>/<job-hash>-latest.ckpt.json and, if such a
+     * file already exists when the job starts (a previous worker was
+     * killed), resumes from it — audited bit-level against the replay —
+     * instead of silently starting over. The file is removed when the
+     * job completes. Job hashes are stable across process restarts for
+     * identical batches.
+     */
+    std::string ckptDir;
+    /** Snapshot interval in simulated cycles (with ckptDir). */
+    double ckptIntervalCycles = 2'000'000.0;
 };
 
 class SweepEngine

@@ -1,0 +1,43 @@
+#include "exp/warm_start.hh"
+
+#include "ckpt/driver.hh"
+#include "ckpt/restore.hh"
+#include "sim/logging.hh"
+
+namespace alewife::exp {
+
+std::vector<core::RunResult>
+runWarmStartSweep(const core::AppFactory &app, const WarmStartSweep &sweep,
+                  bool verify_fatal)
+{
+    // Reject bad variants before burning any simulation time.
+    for (std::size_t i = 0; i < sweep.variants.size(); ++i) {
+        std::string why;
+        if (!ckpt::restoreSafeDelta(sweep.base.machine, sweep.variants[i],
+                                    &why))
+            ALEWIFE_FATAL("warm-start variant ", i, ": ", why);
+    }
+
+    std::vector<core::RunResult> out;
+    out.reserve(sweep.variants.size() + 1);
+
+    ckpt::ForkPointDriver fork(sweep.forkEvents);
+    out.push_back(
+        core::runApp(app, sweep.base, verify_fatal, nullptr, &fork));
+    if (!fork.snapshot())
+        ALEWIFE_FATAL("warm-start fork point (", sweep.forkEvents,
+                      " events) lies past the end of the base run (",
+                      out.back().simEvents, " events)");
+
+    for (const MachineConfig &variant : sweep.variants) {
+        // The machine is constructed (and replayed) under the base
+        // config; WarmStartDriver swaps in the variant knobs after the
+        // restore audit passes.
+        ckpt::WarmStartDriver warm(*fork.snapshot(), variant);
+        out.push_back(
+            core::runApp(app, sweep.base, verify_fatal, nullptr, &warm));
+    }
+    return out;
+}
+
+} // namespace alewife::exp

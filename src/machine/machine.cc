@@ -117,33 +117,57 @@ Machine::allDone() const
     return true;
 }
 
-Tick
-Machine::run(const ProgramFactory &f, Tick limit)
+void
+Machine::start(const ProgramFactory &f)
 {
     for (auto &n : nodes_)
         n->proc.start(f(*n->ctx));
     if (cross_)
         cross_->start();
+}
 
-    while (!allDone()) {
-        if (!eq_.processOne()) {
-            std::ostringstream os;
-            for (const auto &n : nodes_) {
-                if (!n->proc.done()) {
-                    os << " node " << n->proc.id() << " state "
-                       << static_cast<int>(n->proc.state());
-                }
-            }
-            os << "\n";
-            for (const auto &n : nodes_)
-                n->coh->debugDump(os);
-            ALEWIFE_PANIC("simulation deadlock at tick ", eq_.now(), ":",
-                          os.str());
+void
+Machine::panicDeadlock() const
+{
+    std::ostringstream os;
+    for (const auto &n : nodes_) {
+        if (!n->proc.done()) {
+            os << " node " << n->proc.id() << " state "
+               << static_cast<int>(n->proc.state());
         }
-        if (eq_.now() > limit)
-            ALEWIFE_PANIC("simulation exceeded tick limit ", limit);
     }
+    os << "\n";
+    for (const auto &n : nodes_)
+        n->coh->debugDump(os);
+    ALEWIFE_PANIC("simulation deadlock at tick ", eq_.now(), ":",
+                  os.str());
+}
 
+bool
+Machine::stepOne(Tick limit)
+{
+    if (allDone())
+        return false;
+    if (!eq_.processOne())
+        panicDeadlock();
+    if (eq_.now() > limit)
+        ALEWIFE_PANIC("simulation exceeded tick limit ", limit);
+    return true;
+}
+
+bool
+Machine::stepUntilEvents(std::uint64_t events, Tick limit)
+{
+    while (eq_.eventsExecuted() < events) {
+        if (!stepOne(limit))
+            return false;
+    }
+    return eq_.eventsExecuted() == events;
+}
+
+Tick
+Machine::finishRun()
+{
     if (cross_)
         cross_->stop();
 
@@ -156,6 +180,15 @@ Machine::run(const ProgramFactory &f, Tick limit)
     for (const auto &n : nodes_)
         finishTick_ = std::max(finishTick_, n->proc.localNow());
     return finishTick_;
+}
+
+Tick
+Machine::run(const ProgramFactory &f, Tick limit)
+{
+    start(f);
+    while (stepOne(limit)) {
+    }
+    return finishRun();
 }
 
 std::uint64_t

@@ -38,6 +38,10 @@ class Hooks;
 class HookFanout;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife {
 
 /**
@@ -81,15 +85,49 @@ class Machine
      */
     void setPerturbation(const check::PerturbConfig &p);
 
+    /** Default tick limit for run(): panic past 4G cycles. */
+    static constexpr Tick kDefaultRunLimit =
+        cyclesToTicks(std::uint64_t(4'000'000'000));
+
     /**
      * Launch one program per node and drive the simulation until all
-     * programs complete.
+     * programs complete. Equivalent to start(f); while (stepOne(limit))
+     * {}; finishRun() — the stepping primitives exist so checkpoint
+     * drivers can pause the machine at a precise event count.
      * @param f per-node program factory
      * @param limit panic if simulated time would exceed this
      * @return the finish tick (max completion time over nodes)
      */
-    Tick run(const ProgramFactory &f,
-             Tick limit = cyclesToTicks(std::uint64_t(4'000'000'000)));
+    Tick run(const ProgramFactory &f, Tick limit = kDefaultRunLimit);
+
+    /** Launch one program coroutine per node plus cross-traffic. */
+    void start(const ProgramFactory &f);
+
+    /**
+     * Execute one event. Panics on deadlock (no event while programs
+     * are unfinished) or when simulated time exceeds @p limit.
+     * @return false iff every program has completed (no event popped)
+     */
+    bool stepOne(Tick limit = kDefaultRunLimit);
+
+    /**
+     * Drive the machine until @p events total events have executed
+     * (eq().eventsExecuted() == events) or all programs complete,
+     * whichever is first. Used by checkpoint capture/restore: the
+     * executed-event count is the canonical replay position.
+     * @return true if the machine paused exactly at @p events
+     */
+    bool stepUntilEvents(std::uint64_t events,
+                         Tick limit = kDefaultRunLimit);
+
+    /** True once every node's program has completed. */
+    bool programsDone() const { return allDone(); }
+
+    /**
+     * Stop cross-traffic, quiesce in-flight protocol traffic, and
+     * compute the finish tick. The tail of run().
+     */
+    Tick finishRun();
 
     /** Finish tick of the last run. */
     Tick finishTick() const { return finishTick_; }
@@ -121,8 +159,13 @@ class Machine
     void attachHooks(check::Hooks *hooks);
 
   private:
+    /** Checkpoint capture/verify reads private machine state. */
+    friend class alewife::ckpt::Access;
+
     /** Point every component's hook pointer at @p h. */
     void wireHooks(check::Hooks *h);
+
+    [[noreturn]] void panicDeadlock() const;
     struct Node
     {
         Node(NodeId id, Machine &m);

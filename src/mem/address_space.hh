@@ -19,6 +19,10 @@
 
 #include "sim/types.hh"
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::mem {
 
 /** Home-placement policy for one allocation. */
@@ -70,6 +74,9 @@ class AddressSpace
     std::uint64_t wordsAllocated() const { return store_.size(); }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     struct Region
     {
         Addr base;

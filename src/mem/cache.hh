@@ -21,6 +21,10 @@ namespace alewife::check {
 class Hooks;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::mem {
 
 /** Cache-line coherence state (MSI; I is "not present"). */
@@ -101,6 +105,9 @@ class Cache
     }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     struct Line
     {
         bool valid = false;

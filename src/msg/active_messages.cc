@@ -85,9 +85,12 @@ NetIface::inject(NodeId dst, HandlerId h,
         return mesh_.send(std::move(pkt));
 
     auto *raw = pkt.release();
-    eq_.schedule(when, [this, raw]() {
-        mesh_.send(std::unique_ptr<net::Packet>(raw));
-    });
+    eq_.schedule(when,
+                 EventMeta{EventTag::AmPacketLaunch,
+                           reinterpret_cast<std::uintptr_t>(raw), 0},
+                 [this, raw]() {
+                     mesh_.send(std::unique_ptr<net::Packet>(raw));
+                 });
     return 0;
 }
 
@@ -107,7 +110,12 @@ NetIface::receive(net::Packet &pkt)
     if (mode_ == RecvMode::Interrupt && !drainScheduled_) {
         drainScheduled_ = true;
         const Tick at = std::max(eq_.now(), lastHandlerDone_);
-        eq_.schedule(at, [this]() { drainNext(); });
+        eq_.schedule(at,
+                     EventMeta{EventTag::AmDrain,
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(self_)),
+                               0},
+                     [this]() { drainNext(); });
     }
     // Polling mode: the program discovers the message at its next poll.
     proc_.recheckCond();
@@ -165,7 +173,12 @@ NetIface::drainNext()
     auto m = std::move(inq_.front());
     inq_.pop_front();
     lastHandlerDone_ = runHandler(*m);
-    eq_.schedule(lastHandlerDone_, [this]() { drainNext(); });
+    eq_.schedule(lastHandlerDone_,
+                 EventMeta{EventTag::AmDrain,
+                           static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(self_)),
+                           0},
+                 [this]() { drainNext(); });
 }
 
 int

@@ -32,6 +32,10 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::msg {
 
 /** Index into the machine-wide handler table. */
@@ -174,6 +178,9 @@ class NetIface
     std::uint64_t delivered() const { return delivered_; }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     /** Run one handler; returns its completion tick. */
     Tick runHandler(const AmMessage &m);
 

@@ -59,7 +59,9 @@ CrossTraffic::injectAll()
         bytesInjected_ += cfg_.messageBytes;
         mesh_.send(std::move(pkt));
     }
-    eq_.schedule(eq_.now() + periodTicks_, [this]() { injectAll(); });
+    eq_.schedule(eq_.now() + periodTicks_,
+                 EventMeta{EventTag::CrossTrafficTick, 0, 0},
+                 [this]() { injectAll(); });
 }
 
 double

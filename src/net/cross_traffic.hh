@@ -24,6 +24,10 @@
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::net {
 
 /** Parameters of a cross-traffic experiment. */
@@ -59,6 +63,9 @@ class CrossTraffic
     double effectiveBisection() const;
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     /** One stream: fixed (srcNode -> dstNode) flow at fixed rate. */
     struct Stream
     {

@@ -15,10 +15,16 @@ Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg) : eq_(eq), cfg_(cfg)
     // Four unidirectional links per node (E, W, N, S); links off the mesh
     // edge exist but are only used by cross-traffic draining off-edge.
     links_.resize(static_cast<std::size_t>(cfg.nodes()) * 4);
-    hopTicks_ = cyclesToTicks(cfg.hopCycles());
-    fixedTicks_ = cyclesToTicks(cfg.netFixedCycles());
-    retryTicks_ = cyclesToTicks(cfg.niRetryCycles);
-    idealTicks_ = cyclesToTicks(cfg.idealNetLatencyCycles);
+    computeDerivedTiming();
+}
+
+void
+Mesh::computeDerivedTiming()
+{
+    hopTicks_ = cyclesToTicks(cfg_.hopCycles());
+    fixedTicks_ = cyclesToTicks(cfg_.netFixedCycles());
+    retryTicks_ = cyclesToTicks(cfg_.niRetryCycles);
+    idealTicks_ = cyclesToTicks(cfg_.idealNetLatencyCycles);
     // Memoize serialization times for every packet size up to 4 KiB
     // (covers all protocol/AM/DMA packets; larger sizes fall back to
     // the exact formula). Filled with the exact per-call computation so
@@ -138,9 +144,12 @@ Mesh::send(std::unique_ptr<Packet> pkt)
         // Uniform latency, infinite bandwidth, no contention.
         const Tick arrive = now + idealTicks_;
         auto *raw = pkt.release();
-        eq_.schedule(arrive, [this, raw]() {
-            deliver(std::unique_ptr<Packet>(raw), -1);
-        });
+        eq_.schedule(arrive,
+                     EventMeta{EventTag::MeshDeliverIdeal,
+                               reinterpret_cast<std::uintptr_t>(raw), 0},
+                     [this, raw]() {
+                         deliver(std::unique_ptr<Packet>(raw), -1);
+                     });
         return 0;
     }
 
@@ -183,9 +192,14 @@ Mesh::send(std::unique_ptr<Packet> pkt)
         scratchLinks_.empty() ? now + fixedTicks_ + ser : head + ser;
 
     auto *raw = pkt.release();
-    eq_.schedule(arrive, [this, raw, finalLink]() {
-        deliver(std::unique_ptr<Packet>(raw), finalLink);
-    });
+    eq_.schedule(arrive,
+                 EventMeta{EventTag::MeshDeliver,
+                           reinterpret_cast<std::uintptr_t>(raw),
+                           static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(finalLink))},
+                 [this, raw, finalLink]() {
+                     deliver(std::unique_ptr<Packet>(raw), finalLink);
+                 });
     return first_link_wait;
 }
 
@@ -215,9 +229,14 @@ Mesh::deliver(std::unique_ptr<Packet> pkt, int finalLink)
         link.busyTicks += retryTicks_;
     }
     auto *raw = pkt.release();
-    eq_.schedule(eq_.now() + retryTicks_, [this, raw, finalLink]() {
-        deliver(std::unique_ptr<Packet>(raw), finalLink);
-    });
+    eq_.schedule(eq_.now() + retryTicks_,
+                 EventMeta{EventTag::MeshRetry,
+                           reinterpret_cast<std::uintptr_t>(raw),
+                           static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(finalLink))},
+                 [this, raw, finalLink]() {
+                     deliver(std::unique_ptr<Packet>(raw), finalLink);
+                 });
 }
 
 double

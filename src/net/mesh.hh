@@ -38,6 +38,10 @@ namespace alewife::check {
 class Hooks;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::net {
 
 /**
@@ -129,6 +133,9 @@ class Mesh
     const std::vector<Link> &linkStats() const { return links_; }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
 
     /** Index of the unidirectional link leaving (x,y) toward (nx,ny). */
     int linkIndex(int x, int y, int nx, int ny) const;
@@ -141,6 +148,14 @@ class Mesh
 
     /** The un-memoized serialization formula (table fill + fallback). */
     Tick serializationTicksExact(std::uint32_t bytes) const;
+
+    /**
+     * (Re)compute every cfg_-derived timing quantity (hop/fixed/retry/
+     * ideal ticks and the serialization memo). Called by the ctor and
+     * again by ckpt::Access after a warm-start config delta changes a
+     * network knob in place.
+     */
+    void computeDerivedTiming();
 
     /** Per-hop latency, jittered when hop jitter is enabled. */
     Tick hopLatency();

@@ -24,6 +24,10 @@ namespace alewife::check {
 class Hooks;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::proc {
 
 /**
@@ -86,6 +90,9 @@ class PrefetchBuffer
     }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     std::vector<Entry> slots_;
     std::size_t fifoNext_ = 0;
     check::Hooks *hooks_ = nullptr;

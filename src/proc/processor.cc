@@ -79,7 +79,10 @@ Proc::scheduleResume(Tick at)
         resumeEvent_.cancel();
     }
     resumeAt_ = at;
-    resumeEvent_ = eq_.schedule(at, [this]() { fireResume(); });
+    resumeEvent_ = eq_.schedule(
+        at, EventMeta{EventTag::ProcResume,
+                      static_cast<std::uint64_t>(id_), 0},
+        [this]() { fireResume(); });
 }
 
 void

@@ -34,6 +34,10 @@ namespace alewife::check {
 class Hooks;
 }
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::proc {
 
 /**
@@ -134,6 +138,9 @@ class Proc
     void flushSpans();
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     /** Record an attributed span; coalesces with the previous one. */
     void noteSpan(TimeCat cat, Tick start, Tick end);
     /** Schedule (or move) the pending resume event to @p at. */

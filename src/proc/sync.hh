@@ -24,6 +24,10 @@
 #include "sim/coro.hh"
 #include "sim/types.hh"
 
+namespace alewife::ckpt {
+class Access;
+}
+
 namespace alewife::proc {
 
 class Ctx;
@@ -60,6 +64,9 @@ class SyncSystem
     int arity() const { return arity_; }
 
   private:
+    /** Checkpoint capture/verify reads private state. */
+    friend class alewife::ckpt::Access;
+
     sim::SubTask<void> barrierSm(Ctx &ctx);
     sim::SubTask<void> barrierMp(Ctx &ctx);
 

@@ -119,6 +119,19 @@ EventQueue::runUntil(Tick limit)
     return true;
 }
 
+std::optional<Tick>
+EventQueue::peekNextTick()
+{
+    while (!heap_.empty()) {
+        if (!entryLive(heap_.top())) {
+            heap_.pop();
+            continue;
+        }
+        return heap_.top().when;
+    }
+    return std::nullopt;
+}
+
 bool
 EventQueue::empty() const
 {

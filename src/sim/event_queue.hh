@@ -39,9 +39,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <source_location>
 #include <type_traits>
 #include <vector>
 
+#include "sim/event_tag.hh"
 #include "sim/inline_fn.hh"
 #include "sim/radix_queue.hh"
 #include "sim/rng.hh"
@@ -49,6 +52,10 @@
 
 namespace alewife::check {
 class Hooks;
+}
+
+namespace alewife::ckpt {
+class Access;
 }
 
 namespace alewife {
@@ -86,6 +93,11 @@ struct EventPool
         EventFn fn;
         std::uint64_t gen = 0;
         std::uint32_t nextFree = kNone;
+        /** Typed record for checkpointing; Untagged for plain closures. */
+        EventMeta meta;
+        /** Schedule call site, recorded only for untagged events. */
+        const char *siteFile = nullptr;
+        std::uint32_t siteLine = 0;
     };
 
     std::vector<std::unique_ptr<Slot[]>> slabs;
@@ -239,7 +251,10 @@ class EventQueue
     Tick now() const { return now_; }
 
     /**
-     * Schedule @p fn to run at absolute time @p when.
+     * Schedule @p fn to run at absolute time @p when, as an *untagged*
+     * event. The call site is recorded so a checkpoint attempted while
+     * the event is pending can name the offender — tag the site with
+     * an EventMeta (overload below) to make it checkpointable.
      *
      * The callable is constructed directly inside a pooled event slot
      * (no temporary EventFn, no relocate) — together with the inline
@@ -254,30 +269,66 @@ class EventQueue
               typename = std::enable_if_t<
                   !std::is_same_v<std::decay_t<F>, EventFn>>>
     EventHandle
-    schedule(Tick when, F &&fn)
+    schedule(Tick when, F &&fn,
+             std::source_location site = std::source_location::current())
     {
         const std::uint32_t idx = allocateChecked(when);
         detail::EventPool::Slot &slot = pool_->slot(idx);
         slot.fn = std::forward<F>(fn);
+        slot.meta = EventMeta{};
+        slot.siteFile = site.file_name();
+        slot.siteLine = site.line();
+        return pushEntry(when, idx, slot.gen);
+    }
+
+    /**
+     * Schedule a *typed* event: @p meta identifies the scheduling site
+     * and payload, making the pending event serializable by src/ckpt/.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventHandle
+    schedule(Tick when, EventMeta meta, F &&fn)
+    {
+        const std::uint32_t idx = allocateChecked(when);
+        detail::EventPool::Slot &slot = pool_->slot(idx);
+        slot.fn = std::forward<F>(fn);
+        slot.meta = meta;
+        slot.siteFile = nullptr;
+        slot.siteLine = 0;
         return pushEntry(when, idx, slot.gen);
     }
 
     /** Overload for an already-built EventFn (moved into the slot). */
     EventHandle
-    schedule(Tick when, EventFn fn)
+    schedule(Tick when, EventFn fn,
+             std::source_location site = std::source_location::current())
     {
         const std::uint32_t idx = allocateChecked(when);
         detail::EventPool::Slot &slot = pool_->slot(idx);
         slot.fn = std::move(fn);
+        slot.meta = EventMeta{};
+        slot.siteFile = site.file_name();
+        slot.siteLine = site.line();
         return pushEntry(when, idx, slot.gen);
     }
 
-    /** Schedule @p fn to run @p delay ticks from now. */
+    /** Schedule @p fn to run @p delay ticks from now (untagged). */
     template <typename F>
     EventHandle
-    scheduleIn(Tick delay, F &&fn)
+    scheduleIn(Tick delay, F &&fn,
+               std::source_location site = std::source_location::current())
     {
-        return schedule(now_ + delay, std::forward<F>(fn));
+        return schedule(now_ + delay, std::forward<F>(fn), site);
+    }
+
+    /** Schedule a typed event @p delay ticks from now. */
+    template <typename F>
+    EventHandle
+    scheduleIn(Tick delay, EventMeta meta, F &&fn)
+    {
+        return schedule(now_ + delay, meta, std::forward<F>(fn));
     }
 
     /** Run until the queue is empty. Returns final time. */
@@ -311,7 +362,50 @@ class EventQueue
     /** Observer notified after every executed event; may be null. */
     void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
 
+    /**
+     * Snapshot view of one live pending event (checkpoint capture).
+     * `siteFile` is non-null only for untagged events.
+     */
+    struct PendingEvent
+    {
+        Tick when = 0;
+        std::uint64_t pri = 0;
+        std::uint64_t seq = 0;
+        EventMeta meta;
+        const char *siteFile = nullptr;
+        std::uint32_t siteLine = 0;
+    };
+
+    /**
+     * Invoke @p fn on every live (scheduled, uncancelled) event, in no
+     * particular order; sort by `seq` for a canonical listing. Cheap
+     * linear scan — checkpoint-path only, never on the hot path.
+     */
+    template <typename Fn>
+    void
+    forEachPending(Fn fn) const
+    {
+        heap_.forEach([&](const Entry &e) {
+            const detail::EventPool::Slot &s = pool_->slot(e.idx);
+            if (s.gen != e.gen)
+                return; // cancelled
+            fn(PendingEvent{e.when, e.pri, e.seq, s.meta, s.siteFile,
+                            s.siteLine});
+        });
+    }
+
+    /**
+     * Time of the next live event without executing it, or nullopt if
+     * the queue is drained. Discards dead entries encountered on the
+     * way (like runUntil), so it may mutate internal bookkeeping but
+     * never observable simulation state.
+     */
+    std::optional<Tick> peekNextTick();
+
   private:
+    /** Checkpoint capture/verify reads private kernel state. */
+    friend class alewife::ckpt::Access;
+
     /** Queue entry: trivially copyable, moves are plain word copies. */
     struct Entry
     {

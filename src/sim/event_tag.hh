@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Typed event records for checkpointable event-queue contents.
+ *
+ * Every event scheduled on the EventQueue carries an EventMeta: a tag
+ * identifying which subsystem call site created it plus two payload
+ * words whose meaning is tag-specific (documented per enumerator).
+ * The checkpoint subsystem (src/ckpt/) serializes pending events by
+ * (when, tag, payload) rather than by closure bytes — InlineFn frames
+ * capture raw pointers and coroutine handles and are not serializable.
+ *
+ * Events scheduled through the untagged EventQueue::schedule() overload
+ * get EventTag::Untagged plus the call site's file:line; a checkpoint
+ * taken while such an event is pending fails with an error naming that
+ * site, so every new schedule site must either be tagged here or be
+ * provably drained before any snapshot point.
+ */
+
+#ifndef ALEWIFE_SIM_EVENT_TAG_HH
+#define ALEWIFE_SIM_EVENT_TAG_HH
+
+#include <cstdint>
+
+namespace alewife {
+
+/** Identifies the scheduling site / semantic class of a pending event. */
+enum class EventTag : std::uint8_t {
+    /** Closure scheduled without a tag; not checkpointable. */
+    Untagged = 0,
+
+    // -- net/ ---------------------------------------------------------
+    /** Mesh packet arrival (routed). a = Packet*. */
+    MeshDeliver,
+    /** Mesh packet arrival (ideal network). a = Packet*. */
+    MeshDeliverIdeal,
+    /** Mesh delivery retry after NI rejection. a = Packet*. */
+    MeshRetry,
+    /** CrossTraffic periodic injection heartbeat. */
+    CrossTrafficTick,
+
+    // -- proc/ --------------------------------------------------------
+    /** Processor resume at end of a timed wait. a = NodeId. */
+    ProcResume,
+
+    // -- coh/ ---------------------------------------------------------
+    /** Protocol message delivered to the local controller. a = NodeId. */
+    CohLocalDeliver,
+    /** Deferred mesh_.send of a protocol packet. a = Packet*. */
+    CohPacketLaunch,
+    /** Home/cache-side processing of a received ProtoMsg. a = NodeId. */
+    CohProcess,
+    /** Data/DataX reply consumed into the requesting cache. a = NodeId. */
+    CohFill,
+    /** Drain of a queued home request after a transaction closes. a = NodeId. */
+    CohHomeDrain,
+    /** Deferred close of an open directory transaction. a = NodeId, b = line. */
+    CohHomeComplete,
+
+    // -- msg/ ---------------------------------------------------------
+    /** Deferred mesh_.send of an active-message packet. a = Packet*. */
+    AmPacketLaunch,
+    /** Interrupt-mode handler drain step. a = NodeId. */
+    AmDrain,
+
+    kCount,
+};
+
+/** Stable display name for an EventTag (used in snapshots and errors). */
+constexpr const char *
+eventTagName(EventTag t)
+{
+    switch (t) {
+      case EventTag::Untagged:          return "untagged";
+      case EventTag::MeshDeliver:       return "mesh.deliver";
+      case EventTag::MeshDeliverIdeal:  return "mesh.deliver_ideal";
+      case EventTag::MeshRetry:         return "mesh.retry";
+      case EventTag::CrossTrafficTick:  return "cross_traffic.tick";
+      case EventTag::ProcResume:        return "proc.resume";
+      case EventTag::CohLocalDeliver:   return "coh.local_deliver";
+      case EventTag::CohPacketLaunch:   return "coh.packet_launch";
+      case EventTag::CohProcess:        return "coh.process";
+      case EventTag::CohFill:           return "coh.fill";
+      case EventTag::CohHomeDrain:      return "coh.home_drain";
+      case EventTag::CohHomeComplete:   return "coh.home_complete";
+      case EventTag::AmPacketLaunch:    return "am.packet_launch";
+      case EventTag::AmDrain:           return "am.drain";
+      case EventTag::kCount:            break;
+    }
+    return "?";
+}
+
+/**
+ * Tag plus two tag-specific payload words attached to every scheduled
+ * event. For packet-carrying tags `a` holds the in-flight net::Packet*
+ * (expanded to canonical content at capture time, never serialized as a
+ * pointer); for per-node tags `a` holds the owning NodeId. `b` carries
+ * tag-specific extra data (e.g. the ProtoMsg sequence id for coh tags).
+ */
+struct EventMeta
+{
+    EventTag tag = EventTag::Untagged;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+} // namespace alewife
+
+#endif // ALEWIFE_SIM_EVENT_TAG_HH

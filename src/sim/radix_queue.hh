@@ -124,6 +124,23 @@ class RadixQueue
         }
     }
 
+    /**
+     * Invoke @p fn on every queued entry, in no particular order.
+     * Non-mutating scan (checkpoint capture sorts by seq afterwards).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (std::size_t i = head_; i < ready_.size(); ++i)
+            fn(ready_[i]);
+        for (const auto &bucket : buckets_)
+            for (const Entry &e : bucket)
+                fn(e);
+        for (const Entry &e : under_)
+            fn(e);
+    }
+
     /** True if any queued entry satisfies @p pred. Non-mutating scan. */
     template <typename Pred>
     bool

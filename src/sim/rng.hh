@@ -9,6 +9,7 @@
 #ifndef ALEWIFE_SIM_RNG_HH
 #define ALEWIFE_SIM_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace alewife {
@@ -17,7 +18,36 @@ namespace alewife {
 class Rng
 {
   public:
+    /**
+     * Complete generator state. Capturing and later restoring it makes
+     * the subsequent output sequence bit-identical to an uninterrupted
+     * stream — the contract the checkpoint subsystem's RNG section
+     * relies on. The Box-Muller spare is part of the state: dropping it
+     * would shift every later nextGaussian() by one deviate.
+     */
+    struct State
+    {
+        std::array<std::uint64_t, 4> s{};
+        bool haveSpare = false;
+        double spare = 0.0;
+
+        bool operator==(const State &) const = default;
+    };
+
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Snapshot the full generator state. */
+    State state() const { return State{{s_[0], s_[1], s_[2], s_[3]}, haveSpare_, spare_}; }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const State &st)
+    {
+        for (std::size_t i = 0; i < st.s.size(); ++i)
+            s_[i] = st.s[i];
+        haveSpare_ = st.haveSpare;
+        spare_ = st.spare;
+    }
 
     /** Uniform 64-bit value. */
     std::uint64_t next();

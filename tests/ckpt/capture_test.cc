@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Capture semantics: determinism, self-verification, and the
+ * unserializable-event guard (every pending event must carry a typed
+ * EventMeta; capture fails naming the offending schedule site).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "apps/stream.hh"
+#include "ckpt/ckpt.hh"
+#include "core/runner.hh"
+
+namespace alewife::ckpt {
+namespace {
+
+core::AppFactory
+tinyStream()
+{
+    apps::Stream::Params p;
+    p.valuesPerIter = 16;
+    p.iters = 2;
+    return apps::Stream::factory(p);
+}
+
+/** Runs a workload, invoking a probe on the paused machine mid-run. */
+struct MidRunProbe : core::RunDriver
+{
+    std::uint64_t at;
+    std::function<void(Machine &)> probe;
+
+    MidRunProbe(std::uint64_t at_, std::function<void(Machine &)> p)
+        : at(at_), probe(std::move(p))
+    {
+    }
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        m.start(f);
+        if (m.stepUntilEvents(at))
+            probe(m);
+        while (m.stepOne()) {
+        }
+        return m.finishRun();
+    }
+};
+
+void
+runWithProbe(std::uint64_t at, std::function<void(Machine &)> probe)
+{
+    MidRunProbe driver(at, std::move(probe));
+    core::RunSpec spec;
+    core::runApp(tinyStream(), spec, true, nullptr, &driver);
+}
+
+TEST(Capture, SucceedsMidRunAndSelfVerifies)
+{
+    bool probed = false;
+    runWithProbe(400, [&](Machine &m) {
+        probed = true;
+        const CaptureResult r = capture(m);
+        ASSERT_TRUE(r.ok()) << r.error;
+        // The machine was not stepped since the capture, so verify()
+        // must find zero divergent sections.
+        EXPECT_TRUE(verify(m, *r.snap).empty());
+    });
+    EXPECT_TRUE(probed);
+}
+
+TEST(Capture, IsDeterministic)
+{
+    runWithProbe(400, [&](Machine &m) {
+        const CaptureResult a = capture(m);
+        const CaptureResult b = capture(m);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_EQ(a.snap->doc.dump(), b.snap->doc.dump());
+    });
+}
+
+TEST(Capture, VerifyFlagsASteppedMachine)
+{
+    runWithProbe(400, [&](Machine &m) {
+        const CaptureResult r = capture(m);
+        ASSERT_TRUE(r.ok());
+        m.stepOne();
+        EXPECT_FALSE(verify(m, *r.snap).empty());
+    });
+}
+
+TEST(Capture, FailsOnUntaggedEventNamingTheSite)
+{
+    runWithProbe(400, [&](Machine &m) {
+        // Raw schedule with no EventMeta: legal for the simulator,
+        // illegal to checkpoint over.
+        m.eq().schedule(m.eq().now() + 100, [] {});
+        const CaptureResult r = capture(m);
+        EXPECT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("untagged"), std::string::npos)
+            << r.error;
+        // The error names this file as the schedule site.
+        EXPECT_NE(r.error.find("capture_test.cc"), std::string::npos)
+            << r.error;
+    });
+}
+
+TEST(Capture, KernelSectionCarriesRngStreams)
+{
+    runWithProbe(400, [&](Machine &m) {
+        const CaptureResult r = capture(m);
+        ASSERT_TRUE(r.ok());
+        const exp::Json *kernel = r.snap->doc.find("kernel");
+        ASSERT_NE(kernel, nullptr);
+        ASSERT_NE(kernel->find("rng"), nullptr);
+        const exp::Json *mesh = r.snap->doc.find("mesh");
+        ASSERT_NE(mesh, nullptr);
+        ASSERT_NE(mesh->find("jitterRng"), nullptr);
+    });
+}
+
+} // namespace
+} // namespace alewife::ckpt
