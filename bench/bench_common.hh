@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "apps/em3d.hh"
+#include "apps/graph/catalog.hh"
 #include "apps/iccg.hh"
 #include "apps/moldyn.hh"
 #include "apps/stream.hh"
@@ -138,6 +139,31 @@ moldynParams(Scale s)
         p.box.molecules = 2048;
         p.box.cutoff = 1.5;
         p.iters = 4;
+        break;
+    }
+    return p;
+}
+
+inline apps::graph::GraphAppParams
+graphParams(Scale s, workload::GraphFamily family)
+{
+    apps::graph::GraphAppParams p;
+    p.graph.family = family;
+    switch (s) {
+      case Scale::Quick:
+        p.graph.vertices = 400;
+        p.graph.avgDegree = 5;
+        p.iters = 2;
+        break;
+      case Scale::Default:
+        p.graph.vertices = 1024;
+        p.graph.avgDegree = 8;
+        p.iters = 3;
+        break;
+      case Scale::Full:
+        p.graph.vertices = 4096;
+        p.graph.avgDegree = 12;
+        p.iters = 5;
         break;
     }
     return p;

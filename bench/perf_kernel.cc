@@ -420,6 +420,15 @@ main(int argc, char **argv)
     rows.push_back(runWorkload(
         "iccg_sm", apps::Iccg::factory(bench::iccgParams(scale)),
         core::Mechanism::SharedMemory, 0.0));
+    // Irregular point-to-point traffic (R-MAT BFS under polling):
+    // stresses the active-message delivery path rather than the
+    // coherence protocol, so kernel regressions in either show up.
+    rows.push_back(runWorkload(
+        "graph_bfs",
+        apps::graph::makeApp(
+            "bfs",
+            bench::graphParams(scale, workload::GraphFamily::RMat)),
+        core::Mechanism::MpPolling, 0.0));
     // One Figure-8 column: EM3D under cross-traffic consuming 8 B/cyc
     // of the native 18 B/cyc bisection, SM and MP-interrupt.
     const auto fig08Params = bench::em3dParams(bench::Scale::Quick);

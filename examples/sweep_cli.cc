@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "apps/em3d.hh"
+#include "apps/graph/catalog.hh"
 #include "apps/iccg.hh"
 #include "apps/moldyn.hh"
 #include "apps/stream.hh"
@@ -53,6 +54,7 @@ namespace {
 struct Options
 {
     std::string app = "em3d";
+    std::string graph = "uniform"; ///< graph family for graph apps
     std::string sweep = "none";
     std::vector<core::Mechanism> mechs;
     std::vector<double> points;
@@ -82,7 +84,10 @@ splitCommas(const std::string &s)
 usage()
 {
     std::cerr
-        << "usage: sweep_cli [--app em3d|unstruc|iccg|moldyn|stream]\n"
+        << "usage: sweep_cli [--app em3d|unstruc|iccg|moldyn|stream|\n"
+           "                        bfs|pagerank|pagerank-push|sssp]\n"
+           "                 [--graph uniform|rmat|grid] (graph apps "
+           "only)\n"
            "                 [--mechs SM,SM+PF,MP-I,MP-P,BULK]\n"
            "                 [--sweep none|bisection|msglen|clock|"
            "ideal-latency]\n"
@@ -121,7 +126,9 @@ badValue(const std::string &what, const std::string &value,
     usage();
 }
 
-const char *const kValidApps = "em3d, unstruc, iccg, moldyn, stream";
+const char *const kValidApps =
+    "em3d, unstruc, iccg, moldyn, stream, bfs, pagerank, "
+    "pagerank-push, sssp";
 const char *const kValidSweeps =
     "none, bisection, msglen, clock, ideal-latency";
 
@@ -154,6 +161,14 @@ parse(int argc, char **argv)
         };
         if (a == "--app") {
             o.app = next();
+        } else if (a == "--graph") {
+            o.graph = next();
+            bool known = false;
+            for (const char *f : {"uniform", "rmat", "grid"})
+                known |= o.graph == f;
+            if (!known)
+                badValue("--graph value", o.graph,
+                         "uniform, rmat, grid");
         } else if (a == "--mechs") {
             for (const auto &m : splitCommas(next())) {
                 // mechanismFromName() is fatal on bad names; pre-check
@@ -305,6 +320,15 @@ makeFactory(const Options &o)
         p.iters = 4;
         return apps::Stream::factory(p);
     }
+    if (apps::graph::findApp(o.app)) {
+        apps::graph::GraphAppParams p;
+        p.graph.family = workload::graphFamilyFromName(o.graph);
+        p.graph.vertices = static_cast<int>(1024 * s);
+        p.graph.avgDegree = 8;
+        p.graph.nprocs = 32;
+        p.iters = 3;
+        return apps::graph::makeApp(o.app, p);
+    }
     badValue("--app", o.app, kValidApps);
 }
 
@@ -340,10 +364,13 @@ main(int argc, char **argv)
     opts.jobs = o.jobs;
     opts.cache = o.cacheDir.empty() ? nullptr : &cache;
     // Workload identity for the cache: app name + everything that
-    // changes the generated workload (here, just the scale).
+    // changes the generated workload (scale, and the graph family
+    // for the graph-analytics apps).
     {
         std::ostringstream key;
         key << o.app << "/scale=" << o.scale;
+        if (apps::graph::findApp(o.app))
+            key << "/graph=" << o.graph;
         opts.appKey = key.str();
     }
     opts.obs = o.obs;

@@ -37,6 +37,13 @@ if [[ "$FAST" -eq 0 ]]; then
     step "ASan/UBSan: ckpt label (save->restore->run)"
     ctest --test-dir build-asan -j "$JOBS" --output-on-failure -L ckpt
 
+    # The graph-analytics family is the newest coherence/NI stressor
+    # (irregular point-to-point traffic, exclusive prefetch + recall
+    # interleavings); run its label explicitly so a leak or stale
+    # read in that path fails here by name.
+    step "ASan/UBSan: graph label (workload family + differential)"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure -L graph
+
     step "TSan: build + parallel-engine and kernel-pool suites"
     cmake -B build-tsan -S . -DALEWIFE_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
@@ -82,6 +89,22 @@ if ls "$CKPT_DIR"/*-latest.ckpt.json >/dev/null 2>&1; then
     exit 1
 fi
 rm -rf "$CKPT_DIR"
+
+step "graph sweep smoke: ext3 matrix through the sweep engine"
+GRAPH_CKPT="$(mktemp -d)"
+./build/bench/ext3_graph_sweep --quick --ckpt-dir "$GRAPH_CKPT" \
+    >/dev/null
+# Completed sweeps must clean up their crash-tolerance snapshots.
+if ls "$GRAPH_CKPT"/*-latest.ckpt.json >/dev/null 2>&1; then
+    echo "graph smoke: ext3 sweep left snapshots behind"
+    exit 1
+fi
+rm -rf "$GRAPH_CKPT"
+# The catalog seam: a graph app runs through the generic sweep CLI
+# and self-verifies (bit-audited digest) like any paper workload.
+./build/examples/sweep_cli --app bfs --graph rmat --mechs SM,MP-P \
+    --sweep none | grep -q "yes" \
+    || { echo "graph smoke: sweep_cli bfs did not verify"; exit 1; }
 
 step "observability smoke: EM3D with trace + metrics"
 OBS_DIR="$(mktemp -d)"

@@ -1,0 +1,84 @@
+#include "apps/graph/catalog.hh"
+
+#include <sstream>
+
+#include "apps/graph/bfs.hh"
+#include "apps/graph/pagerank.hh"
+#include "apps/graph/sssp.hh"
+#include "sim/logging.hh"
+
+namespace alewife::apps::graph {
+
+const std::vector<CatalogEntry> &
+catalog()
+{
+    static const std::vector<CatalogEntry> entries = {
+        {"bfs",
+         "level-synchronous BFS, deterministic min-parent tree",
+         [](const GraphAppParams &p) { return Bfs::factory(p); }},
+        {"pagerank",
+         "bulk-synchronous pull PageRank (ghost exchange per round)",
+         [](const GraphAppParams &p) {
+             return Pagerank::factory(p,
+                                      Pagerank::Variant::SyncPull);
+         }},
+        {"pagerank-push",
+         "asynchronous push PageRank (one message per cross edge)",
+         [](const GraphAppParams &p) {
+             return Pagerank::factory(p,
+                                      Pagerank::Variant::AsyncPush);
+         }},
+        {"sssp",
+         "delta-stepping SSSP, differentially checked vs Dijkstra",
+         [](const GraphAppParams &p) { return Sssp::factory(p); }},
+    };
+    return entries;
+}
+
+const CatalogEntry *
+findApp(const std::string &name)
+{
+    for (const CatalogEntry &e : catalog()) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+core::AppFactory
+makeApp(const std::string &name, const GraphAppParams &p)
+{
+    const CatalogEntry *e = findApp(name);
+    if (!e) {
+        std::string known;
+        for (const std::string &n : catalogNames())
+            known += (known.empty() ? "" : ", ") + n;
+        ALEWIFE_FATAL("unknown graph app '", name, "' (have: ", known,
+                      ")");
+    }
+    return e->make(p);
+}
+
+std::vector<std::string>
+catalogNames()
+{
+    std::vector<std::string> out;
+    for (const CatalogEntry &e : catalog())
+        out.push_back(e.name);
+    return out;
+}
+
+std::string
+catalogKey(const std::string &name, const GraphAppParams &p)
+{
+    std::ostringstream key;
+    key << "graph-" << name << "-"
+        << workload::graphFamilyName(p.graph.family) << "-v"
+        << p.graph.vertices << "-d" << p.graph.avgDegree << "-w"
+        << p.graph.maxWeight << "-p" << p.graph.nprocs << "-s"
+        << p.graph.seed << "-i" << p.iters << "-dm" << p.damping
+        << "-r" << p.root << "-dl" << p.delta;
+    return key.str();
+}
+
+} // namespace alewife::apps::graph

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Name-keyed registry of the graph-analytics workload family.
+ *
+ * Shaped after the application registries of distributed graph
+ * frameworks: each entry carries a stable name, a one-line
+ * description, and a factory-maker closing over GraphAppParams. The
+ * registry is the seam drivers use (sweep_cli, ext3_graph_sweep,
+ * tests) so new graph apps become sweepable everywhere by adding one
+ * entry here.
+ */
+
+#ifndef ALEWIFE_APPS_GRAPH_CATALOG_HH
+#define ALEWIFE_APPS_GRAPH_CATALOG_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/graph/graph_app.hh"
+
+namespace alewife::apps::graph {
+
+/** One registered graph application. */
+struct CatalogEntry
+{
+    std::string name;
+    std::string description;
+    std::function<core::AppFactory(const GraphAppParams &)> make;
+};
+
+/** All registered graph apps, in registration order. */
+const std::vector<CatalogEntry> &catalog();
+
+/** Look up an entry by name; nullptr when absent. */
+const CatalogEntry *findApp(const std::string &name);
+
+/** Build a factory for @p name; fatal on an unknown name. */
+core::AppFactory makeApp(const std::string &name,
+                         const GraphAppParams &p);
+
+/** Registered names, for usage messages. */
+std::vector<std::string> catalogNames();
+
+/**
+ * Stable result-cache key for a (name, params) pair: app name plus
+ * every generator and algorithm parameter that affects the result.
+ */
+std::string catalogKey(const std::string &name,
+                       const GraphAppParams &p);
+
+} // namespace alewife::apps::graph
+
+#endif // ALEWIFE_APPS_GRAPH_CATALOG_HH

@@ -1,0 +1,127 @@
+#include "apps/graph/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alewife::apps::graph {
+
+void
+TrafficStats::init(int n)
+{
+    nodes = n;
+    sentValues.assign(n, 0);
+    recvValues.assign(n, 0);
+    sentMsgs.assign(n, 0);
+    phaseSent.assign(n, {});
+    phaseRecv.assign(n, {});
+}
+
+std::uint64_t
+TrafficStats::totalSent() const
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t v : sentValues)
+        s += v;
+    return s;
+}
+
+std::uint64_t
+TrafficStats::totalMsgs() const
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t v : sentMsgs)
+        s += v;
+    return s;
+}
+
+std::size_t
+TrafficStats::phases() const
+{
+    std::size_t p = 0;
+    for (const auto &v : phaseSent)
+        p = std::max(p, v.size());
+    return p;
+}
+
+double
+TrafficStats::sendSkew() const
+{
+    const std::uint64_t total = totalSent();
+    if (total == 0 || nodes == 0)
+        return 0.0;
+    const std::uint64_t peak =
+        *std::max_element(sentValues.begin(), sentValues.end());
+    const double mean = static_cast<double>(total) / nodes;
+    return static_cast<double>(peak) / mean;
+}
+
+CostModel
+CostModel::fromConfig(const MachineConfig &cfg, double values_per_msg)
+{
+    CostModel m;
+    m.alphaCycles = cfg.netFixedCycles()
+                    + cfg.averageHops() * cfg.hopCycles();
+    m.sendCyclesPerMsg = cfg.amSendCycles;
+    m.recvCyclesPerMsg = cfg.amDispatchCycles;
+    m.cyclesPerWord = cfg.amSendPerWordCycles + cfg.amRecvPerWordCycles;
+    m.betaCyclesPerByte = 1.0 / cfg.linkBytesPerCycle();
+    m.headerBytes = cfg.amHeaderBytes;
+    m.valuesPerMsg = std::max(1.0, values_per_msg);
+    m.queueSlots = cfg.niInputQueueSlots;
+    m.queuePenaltyCycles = cfg.niRetryCycles;
+    return m;
+}
+
+double
+CostModel::predictPhaseCycles(const std::vector<std::uint64_t> &sent,
+                              const std::vector<std::uint64_t> &recv) const
+{
+    double cpu_max = 0.0, bytes_max = 0.0, recv_msgs_max = 0.0;
+    const std::size_t n = std::max(sent.size(), recv.size());
+    for (std::size_t p = 0; p < n; ++p) {
+        const double s = p < sent.size()
+                             ? static_cast<double>(sent[p])
+                             : 0.0;
+        const double r = p < recv.size()
+                             ? static_cast<double>(recv[p])
+                             : 0.0;
+        const double s_msgs = std::ceil(s / valuesPerMsg);
+        const double r_msgs = std::ceil(r / valuesPerMsg);
+        const double cpu = sendCyclesPerMsg * s_msgs
+                           + recvCyclesPerMsg * r_msgs
+                           + cyclesPerWord * (s + r);
+        // Max-rate: each endpoint moves its own bytes through its own
+        // link; the phase is as slow as the busiest endpoint.
+        const double bytes =
+            std::max(s, r) * bytesPerValue
+            + std::max(s_msgs, r_msgs) * headerBytes;
+        cpu_max = std::max(cpu_max, cpu);
+        bytes_max = std::max(bytes_max, bytes);
+        recv_msgs_max = std::max(recv_msgs_max, r_msgs);
+    }
+    if (cpu_max == 0.0 && bytes_max == 0.0)
+        return 0.0;
+    // Queue-aware: messages past the NI queue depth get redelivered.
+    const double excess =
+        std::max(0.0, recv_msgs_max - static_cast<double>(queueSlots));
+    return cpu_max + alphaCycles + betaCyclesPerByte * bytes_max
+           + queuePenaltyCycles * excess;
+}
+
+double
+CostModel::predictCommCycles(const TrafficStats &t) const
+{
+    const std::size_t phases = t.phases();
+    double total = 0.0;
+    std::vector<std::uint64_t> sent(t.nodes, 0), recv(t.nodes, 0);
+    for (std::size_t k = 0; k < phases; ++k) {
+        for (int p = 0; p < t.nodes; ++p) {
+            sent[p] = k < t.phaseSent[p].size() ? t.phaseSent[p][k] : 0;
+            recv[p] = k < t.phaseRecv[p].size() ? t.phaseRecv[p][k] : 0;
+        }
+        total += predictPhaseCycles(sent, recv);
+    }
+    return total;
+}
+
+} // namespace alewife::apps::graph

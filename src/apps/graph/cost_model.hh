@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-edge traffic accounting and an analytic point-to-point cost model
+ * for the graph workloads.
+ *
+ * The model follows "Improving Performance Models for Irregular
+ * Point-to-Point Communication" (Bienz, Gropp, Olson; arXiv 1806.02030):
+ * the classic postal model T = alpha + beta*bytes mispredicts irregular
+ * exchanges, so two corrections are applied —
+ *
+ *  - max-rate: the bandwidth term of a phase is paid by the *busiest
+ *    endpoint* (the node injecting/ejecting the most bytes), not by the
+ *    aggregate volume spread over the bisection; skewed-degree graphs
+ *    concentrate traffic on few nodes and the busiest one is the
+ *    bottleneck;
+ *  - queue-aware: messages beyond the NI input-queue depth pay an extra
+ *    queue-search/retry penalty per message (the receiver cannot drain
+ *    the queue faster than its dispatch overhead, so senders eat
+ *    niRetryCycles redeliveries).
+ *
+ * Apps fill a TrafficStats during the run (every value shipped between
+ * partitions, per node per phase); the model predicts communication
+ * cycles from those counts and the machine's cost knobs. The prediction
+ * is surfaced as obs metrics and printed by ext3_graph_sweep next to
+ * the simulated runtime — it is a diagnostic, never an input to the
+ * simulation itself.
+ */
+
+#ifndef ALEWIFE_APPS_GRAPH_COST_MODEL_HH
+#define ALEWIFE_APPS_GRAPH_COST_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hh"
+
+namespace alewife::apps::graph {
+
+/** Per-node / per-phase value and message accounting of one run. */
+struct TrafficStats
+{
+    int nodes = 0;
+
+    /** Aggregate per-node totals (64-bit values / messages). */
+    std::vector<std::uint64_t> sentValues;
+    std::vector<std::uint64_t> recvValues;
+    std::vector<std::uint64_t> sentMsgs;
+
+    /** Per node: values sent in each completed phase. */
+    std::vector<std::vector<std::uint64_t>> phaseSent;
+    /** Per node: values received in each completed phase. */
+    std::vector<std::vector<std::uint64_t>> phaseRecv;
+
+    void init(int n);
+
+    std::uint64_t totalSent() const;
+    std::uint64_t totalMsgs() const;
+
+    /** Completed phases (max over nodes). */
+    std::size_t phases() const;
+
+    /**
+     * Send skew: busiest node's total sent values over the per-node
+     * mean (1.0 = perfectly balanced). 0 when nothing was sent.
+     */
+    double sendSkew() const;
+};
+
+/** Max-rate / queue-aware communication cost model. */
+struct CostModel
+{
+    double alphaCycles = 0.0;        ///< per-message network latency
+    double sendCyclesPerMsg = 0.0;   ///< sender CPU overhead per message
+    double recvCyclesPerMsg = 0.0;   ///< receiver dispatch per message
+    double cyclesPerWord = 0.0;      ///< CPU cost per payload word
+    double betaCyclesPerByte = 0.0;  ///< inverse per-link bandwidth
+    double bytesPerValue = 8.0;      ///< payload bytes per 64-bit value
+    double headerBytes = 8.0;
+    double valuesPerMsg = 5.0;       ///< app batching factor
+    int queueSlots = 8;              ///< NI input queue depth
+    double queuePenaltyCycles = 0.0; ///< retry cost per excess message
+
+    /** Derive the knobs from a machine configuration. */
+    static CostModel fromConfig(const MachineConfig &cfg,
+                                double values_per_msg);
+
+    /**
+     * Predicted communication cycles of one phase given each node's
+     * sent/received value counts: CPU overhead + alpha + the max-rate
+     * bandwidth term + the queue correction, all charged to the
+     * bottleneck node.
+     */
+    double
+    predictPhaseCycles(const std::vector<std::uint64_t> &sent,
+                       const std::vector<std::uint64_t> &recv) const;
+
+    /** Sum of predictPhaseCycles over every completed phase. */
+    double predictCommCycles(const TrafficStats &t) const;
+};
+
+} // namespace alewife::apps::graph
+
+#endif // ALEWIFE_APPS_GRAPH_COST_MODEL_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Common machinery of the graph-analytics workload family.
+ *
+ * Every graph app follows the same contract (the `apps::Stress` style,
+ * hardened to bit-exactness):
+ *
+ *  - the constructor builds the partitioned graph and runs a sequential
+ *    reference implementation; the reference result is reduced to a
+ *    52-bit FNV digest stored as the App reference();
+ *  - the distributed run — under any of the five mechanisms — produces
+ *    per-vertex results whose digest must EQUAL the reference digest
+ *    (tolerance() == 0), which only works because every accumulation
+ *    the schedule can reorder is integer min-combining (BFS, SSSP) and
+ *    every floating-point sum happens in a fixed CSR order (PageRank);
+ *  - per-partition value traffic is accounted into a TrafficStats and
+ *    exported through core::App::exportMetrics when a recorder is
+ *    attached (message-rate histogram, per-node skew counters, and the
+ *    arXiv 1806.02030 cost-model prediction).
+ */
+
+#ifndef ALEWIFE_APPS_GRAPH_GRAPH_APP_HH
+#define ALEWIFE_APPS_GRAPH_GRAPH_APP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph/cost_model.hh"
+#include "core/app.hh"
+#include "workload/graph.hh"
+
+namespace alewife::apps::graph {
+
+/** Parameters shared by every graph app. */
+struct GraphAppParams
+{
+    workload::GraphParams graph;
+    /** PageRank rounds / damping. */
+    int iters = 5;
+    double damping = 0.85;
+    /** BFS/SSSP source; -1 picks the first vertex with out-edges. */
+    std::int32_t root = -1;
+    /** Delta-stepping bucket width (light edge: weight <= delta). */
+    std::int32_t delta = 4;
+};
+
+/** Base class: graph + reference digest + traffic accounting. */
+class GraphAppBase : public core::App
+{
+  public:
+    double reference() const override { return reference_; }
+    /** Results are bit-audited: digests must match exactly. */
+    double tolerance() const override { return 0.0; }
+
+    void exportMetrics(obs::MetricsRegistry &m) const override;
+
+    const workload::PartitionedGraph &graph() const { return g_; }
+    const TrafficStats &traffic() const { return traffic_; }
+    const CostModel &costModel() const { return model_; }
+
+  protected:
+    explicit GraphAppBase(GraphAppParams p);
+
+    /** 64-bit FNV-1a step. */
+    static std::uint64_t
+    fnv(std::uint64_t h, std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+        return h;
+    }
+
+    static constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+    /** Digest -> checksum double (52 bits, exactly representable). */
+    static double
+    digestChecksum(std::uint64_t h)
+    {
+        return static_cast<double>(h >> 12);
+    }
+
+    /** Panic unless the machine matches the workload partitioning. */
+    void checkMachine(const Machine &m) const;
+
+    // --- traffic accounting (model input, never simulator input) ---
+
+    void trafficInit(int nodes);
+    void noteSend(int node, std::uint64_t values, std::uint64_t msgs);
+    void noteRecv(int node, std::uint64_t values);
+    /** Close the current phase of @p node (at its sync point). */
+    void notePhaseEnd(int node);
+
+    GraphAppParams p_;
+    workload::PartitionedGraph g_;
+    std::int32_t root_ = 0;
+    double reference_ = 0.0;
+    core::Mechanism mech_ = core::Mechanism::SharedMemory;
+    Machine *machine_ = nullptr;
+
+    TrafficStats traffic_;
+    CostModel model_;
+
+    /**
+     * Per-vertex result words harvested by checksum() while the
+     * machine is still alive. Shared-memory results live in simulated
+     * memory, but the differential golden tests read result
+     * accessors after runApp has destroyed the machine — so apps
+     * serve those reads from this copy. Cleared by checkMachine() at
+     * the next setup.
+     */
+    mutable std::vector<std::uint64_t> result_;
+
+  private:
+    std::vector<std::uint64_t> curSent_, curRecv_, curMsgs_;
+};
+
+} // namespace alewife::apps::graph
+
+#endif // ALEWIFE_APPS_GRAPH_GRAPH_APP_HH

@@ -10,6 +10,7 @@
 
 namespace alewife::coh {
 
+
 // The protocol hot path schedules lambdas capturing [this, bool, ProtoMsg
 // by value]; they must fit the event queue's inline callback buffer or
 // every protocol message would silently fall back to a heap allocation.
@@ -295,6 +296,12 @@ void
 CoherenceController::installLine(Addr line, mem::LineState st,
                                  const std::vector<std::uint64_t> &words)
 {
+    // A fill supersedes any buffered copy of the same line. Without
+    // this, a demand GetX landing in the cache would coexist with a
+    // stale Shared buffer entry left by an earlier downgraded
+    // exclusive prefetch — and a later recall, finding the cache copy
+    // Modified, would never clear the buffered one.
+    pfb_.invalidate(line);
     auto victim = cache_.fill(line, st, words);
     if (victim) {
         ProtoMsg wb;
@@ -535,7 +542,15 @@ CoherenceController::fillArrived(Addr line, bool exclusive,
     if (m.startedAsPrefetch)
         --prefetchesInFlight_;
 
-    if (pure_prefetch && cache_.contains(line)) {
+    if (pure_prefetch && m.killedByInv) {
+        // An invalidation overtook this prefetch's data reply; its ack
+        // is already at the home and the epoch is bumped. Installing
+        // the words now would resurrect a copy the directory no
+        // longer tracks — drop them instead.
+        return;
+    }
+
+    if (pure_prefetch && cache_.contains(line) && !m.stashedRecall) {
         // Exclusive prefetch upgrading a line the cache already holds
         // Shared: install straight into the cache. Splitting the line
         // between a Modified buffer entry and a stale Shared cache copy
@@ -544,7 +559,7 @@ CoherenceController::fillArrived(Addr line, bool exclusive,
         return;
     }
 
-    if (pure_prefetch) {
+    if (pure_prefetch && !m.stashedRecall) {
         if (pfb_.occupancy() == pfb_.capacity()) {
             auto victim = pfb_.evictOldest();
             if (victim && victim->st == mem::LineState::Modified) {
@@ -569,6 +584,9 @@ CoherenceController::fillArrived(Addr line, bool exclusive,
     // Protocol messages that overtook this fill (possible under 3-hop
     // forwarding, where data rides a different source pair than home
     // traffic) are honoured now, after the ordered-earlier demands.
+    // An overtaken pure-prefetch grant lands in the cache (not the
+    // prefetch buffer) above precisely so the stashed recall/forward
+    // can answer with the data here.
     if (m.stashedRecall) {
         const ProtoMsg &rc = *m.stashedRecall;
         const bool ex = rc.type == MsgType::RecallX

@@ -19,6 +19,10 @@
 #include "machine/machine.hh"
 #include "sim/coro.hh"
 
+namespace alewife::obs {
+class MetricsRegistry;
+}
+
 namespace alewife::core {
 
 /**
@@ -52,6 +56,17 @@ class App
 
     /** Relative tolerance for checksum verification. */
     virtual double tolerance() const { return 1e-9; }
+
+    /**
+     * Export application-level metrics into an attached recorder's
+     * registry. Called by runApp after the run completes and before
+     * the recorder finalizes, only when observability is on — so apps
+     * may account workload-specific traffic (e.g. per-edge message
+     * counts) without ever perturbing the simulation. Must not touch
+     * machine or application state (results are bit-identical with
+     * observability attached or detached).
+     */
+    virtual void exportMetrics(obs::MetricsRegistry &) const {}
 };
 
 /** Creates fresh App instances (one per run). */

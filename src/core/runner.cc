@@ -62,6 +62,7 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
     if (auditor)
         auditor->finalize();
     if (rec) {
+        app.exportMetrics(rec->metrics());
         rec->finalize();
         if (auditor)
             auditor->setOnViolation(nullptr); // recorder dies with us

@@ -1,0 +1,332 @@
+#include "workload/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace alewife::workload {
+
+const char *
+graphFamilyName(GraphFamily f)
+{
+    switch (f) {
+      case GraphFamily::Uniform: return "uniform";
+      case GraphFamily::RMat: return "rmat";
+      case GraphFamily::Grid2d: return "grid";
+    }
+    return "?";
+}
+
+GraphFamily
+graphFamilyFromName(const std::string &s)
+{
+    if (s == "uniform")
+        return GraphFamily::Uniform;
+    if (s == "rmat")
+        return GraphFamily::RMat;
+    if (s == "grid" || s == "grid2d")
+        return GraphFamily::Grid2d;
+    ALEWIFE_FATAL("unknown graph family '", s,
+                  "' (uniform, rmat, grid)");
+}
+
+int
+PartitionedGraph::owner(std::int32_t v) const
+{
+    const std::int32_t per =
+        (n + params.nprocs - 1) / params.nprocs;
+    return static_cast<int>(v / per);
+}
+
+std::int32_t
+PartitionedGraph::firstVertex(int proc) const
+{
+    const std::int32_t per =
+        (n + params.nprocs - 1) / params.nprocs;
+    return std::min<std::int32_t>(per * proc, n);
+}
+
+std::int32_t
+PartitionedGraph::numVerticesOn(int proc) const
+{
+    return firstVertex(proc + 1) - firstVertex(proc);
+}
+
+std::int32_t
+PartitionedGraph::defaultRoot() const
+{
+    for (std::int32_t v = 0; v < n; ++v)
+        if (outDegree(v) > 0)
+            return v;
+    ALEWIFE_PANIC("graph has no edges");
+}
+
+namespace {
+
+struct RawEdge
+{
+    std::int32_t src, dst, w;
+};
+
+/** Build out/in CSR from an edge list, preserving per-source order. */
+void
+buildCsr(PartitionedGraph &g, std::vector<RawEdge> edges)
+{
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const RawEdge &a, const RawEdge &b) {
+                         return a.src < b.src;
+                     });
+    const std::int32_t n = g.n;
+    g.outRow.assign(n + 1, 0);
+    for (const RawEdge &e : edges)
+        ++g.outRow[e.src + 1];
+    for (std::int32_t v = 0; v < n; ++v)
+        g.outRow[v + 1] += g.outRow[v];
+    g.outDst.reserve(edges.size());
+    g.outW.reserve(edges.size());
+    for (const RawEdge &e : edges) {
+        g.outDst.push_back(e.dst);
+        g.outW.push_back(e.w);
+    }
+
+    // Transpose; counting sort keyed on dst keeps in-sources sorted by
+    // (src, source-edge order) — the fixed accumulation order the
+    // PageRank variants and reference share.
+    g.inRow.assign(n + 1, 0);
+    for (const RawEdge &e : edges)
+        ++g.inRow[e.dst + 1];
+    for (std::int32_t v = 0; v < n; ++v)
+        g.inRow[v + 1] += g.inRow[v];
+    g.inSrc.assign(edges.size(), 0);
+    g.inW.assign(edges.size(), 0);
+    std::vector<std::int32_t> fill(g.inRow.begin(), g.inRow.end() - 1);
+    for (std::int32_t v = 0; v < n; ++v) {
+        for (std::int32_t k = g.outRow[v]; k < g.outRow[v + 1]; ++k) {
+            const std::int32_t at = fill[g.outDst[k]]++;
+            g.inSrc[at] = v;
+            g.inW[at] = g.outW[k];
+        }
+    }
+}
+
+std::vector<RawEdge>
+genUniform(std::int32_t n, const GraphParams &p, Rng &rng)
+{
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<std::size_t>(n) * p.avgDegree);
+    for (std::int32_t v = 0; v < n; ++v) {
+        for (int j = 0; j < p.avgDegree; ++j) {
+            std::int32_t dst = -1;
+            for (int tries = 0; tries < 8; ++tries) {
+                dst = static_cast<std::int32_t>(rng.nextBounded(n));
+                if (dst != v)
+                    break;
+                dst = -1;
+            }
+            if (dst < 0)
+                continue;
+            const std::int32_t w = 1 + static_cast<std::int32_t>(
+                                       rng.nextBounded(p.maxWeight));
+            edges.push_back({v, dst, w});
+        }
+    }
+    return edges;
+}
+
+std::vector<RawEdge>
+genRmat(std::int32_t n, const GraphParams &p, Rng &rng)
+{
+    int levels = 0;
+    while ((std::int32_t(1) << levels) < n)
+        ++levels;
+    const std::int64_t want =
+        static_cast<std::int64_t>(n) * p.avgDegree;
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<std::size_t>(want));
+    for (std::int64_t e = 0; e < want; ++e) {
+        std::int32_t src = -1, dst = -1;
+        for (int tries = 0; tries < 8; ++tries) {
+            std::int32_t s = 0, d = 0;
+            for (int l = 0; l < levels; ++l) {
+                const double r = rng.nextDouble();
+                s <<= 1;
+                d <<= 1;
+                if (r < p.rmatA) {
+                    // top-left quadrant
+                } else if (r < p.rmatA + p.rmatB) {
+                    d |= 1;
+                } else if (r < p.rmatA + p.rmatB + p.rmatC) {
+                    s |= 1;
+                } else {
+                    s |= 1;
+                    d |= 1;
+                }
+            }
+            if (s != d) {
+                src = s;
+                dst = d;
+                break;
+            }
+        }
+        if (src < 0)
+            continue;
+        const std::int32_t w = 1 + static_cast<std::int32_t>(
+                                   rng.nextBounded(p.maxWeight));
+        edges.push_back({src, dst, w});
+    }
+    return edges;
+}
+
+std::vector<RawEdge>
+genGrid2d(std::int32_t side, const GraphParams &p, Rng &rng)
+{
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<std::size_t>(side) * side * 4);
+    for (std::int32_t y = 0; y < side; ++y) {
+        for (std::int32_t x = 0; x < side; ++x) {
+            const std::int32_t v = y * side + x;
+            const std::int32_t nb[4] = {
+                x > 0 ? v - 1 : -1, x + 1 < side ? v + 1 : -1,
+                y > 0 ? v - side : -1, y + 1 < side ? v + side : -1};
+            for (std::int32_t u : nb) {
+                if (u < 0)
+                    continue;
+                const std::int32_t w = 1 + static_cast<std::int32_t>(
+                                           rng.nextBounded(p.maxWeight));
+                edges.push_back({v, u, w});
+            }
+        }
+    }
+    return edges;
+}
+
+} // namespace
+
+PartitionedGraph
+makeGraph(const GraphParams &p)
+{
+    if (p.vertices <= 0 || p.avgDegree <= 0 || p.nprocs <= 0
+        || p.maxWeight <= 0)
+        ALEWIFE_PANIC("bad graph params");
+    PartitionedGraph g;
+    g.params = p;
+    Rng rng(p.seed ^ 0x67726170680000ULL
+            ^ (static_cast<std::uint64_t>(p.family) << 56));
+
+    std::vector<RawEdge> edges;
+    switch (p.family) {
+      case GraphFamily::Uniform:
+        g.n = p.vertices;
+        edges = genUniform(g.n, p, rng);
+        break;
+      case GraphFamily::RMat: {
+        std::int32_t n = 1;
+        while (n < p.vertices)
+            n <<= 1;
+        g.n = n;
+        edges = genRmat(g.n, p, rng);
+        break;
+      }
+      case GraphFamily::Grid2d: {
+        const auto side = static_cast<std::int32_t>(
+            std::sqrt(static_cast<double>(p.vertices)));
+        g.n = side * side;
+        edges = genGrid2d(side, p, rng);
+        break;
+      }
+    }
+    buildCsr(g, std::move(edges));
+    return g;
+}
+
+BfsRef
+bfsReference(const PartitionedGraph &g, std::int32_t root)
+{
+    BfsRef r;
+    r.depth.assign(g.n, -1);
+    r.parent.assign(g.n, -1);
+    r.depth[root] = 0;
+    r.parent[root] = root;
+    std::vector<std::int32_t> frontier{root}, next;
+    std::int32_t level = 0;
+    while (!frontier.empty()) {
+        next.clear();
+        for (std::int32_t u : frontier) {
+            for (std::int32_t k = g.outRow[u]; k < g.outRow[u + 1];
+                 ++k) {
+                const std::int32_t v = g.outDst[k];
+                if (r.depth[v] < 0) {
+                    r.depth[v] = level + 1;
+                    next.push_back(v);
+                }
+            }
+        }
+        r.maxDepth = level;
+        frontier.swap(next);
+        ++level;
+    }
+    // Deterministic parent tree: smallest in-neighbour one level up.
+    for (std::int32_t v = 0; v < g.n; ++v) {
+        if (v == root || r.depth[v] < 0)
+            continue;
+        std::int32_t best = -1;
+        for (std::int32_t k = g.inRow[v]; k < g.inRow[v + 1]; ++k) {
+            const std::int32_t u = g.inSrc[k];
+            if (r.depth[u] == r.depth[v] - 1
+                && (best < 0 || u < best))
+                best = u;
+        }
+        r.parent[v] = best;
+    }
+    return r;
+}
+
+std::vector<double>
+pagerankReference(const PartitionedGraph &g, int iters, double damping)
+{
+    std::vector<double> rank(g.n, 1.0 / g.n), next(g.n, 0.0);
+    const double base = (1.0 - damping) / g.n;
+    for (int it = 0; it < iters; ++it) {
+        for (std::int32_t v = 0; v < g.n; ++v) {
+            double sum = 0.0;
+            for (std::int32_t k = g.inRow[v]; k < g.inRow[v + 1];
+                 ++k) {
+                const std::int32_t u = g.inSrc[k];
+                sum += rank[u] / g.outDegree(u);
+            }
+            next[v] = base + damping * sum;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+std::vector<std::int64_t>
+dijkstraReference(const PartitionedGraph &g, std::int32_t root)
+{
+    std::vector<std::int64_t> dist(g.n, -1);
+    using Item = std::pair<std::int64_t, std::int32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[root] = 0;
+    pq.push({0, root});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u])
+            continue;
+        for (std::int32_t k = g.outRow[u]; k < g.outRow[u + 1]; ++k) {
+            const std::int32_t v = g.outDst[k];
+            const std::int64_t nd = d + g.outW[k];
+            if (dist[v] < 0 || nd < dist[v]) {
+                dist[v] = nd;
+                pq.push({nd, v});
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace alewife::workload

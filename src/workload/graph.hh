@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Synthetic partitioned graphs for the graph-analytics workload family
+ * (BFS, PageRank, SSSP).
+ *
+ * Three generators with deterministic seeded construction:
+ *  - Uniform: every vertex draws `avgDegree` out-neighbours uniformly
+ *    at random (Erdos-Renyi-like, balanced degrees);
+ *  - RMat: recursive-matrix / power-law generator (Chakrabarti et al.),
+ *    skewed in- and out-degree distributions — the irregular traffic
+ *    regime where polled vs interrupt message delivery diverges;
+ *  - Grid2d: a side x side torus-free 2D grid, 4-neighbour stencil —
+ *    long-diameter, low-degree contrast case.
+ *
+ * Vertices are block-partitioned over processors (same owner/firstNode
+ * scheme as the EM3D bipartite workload). Edge weights are small
+ * positive integers so SSSP distances are exact integers and every
+ * distributed relaxation is order-independent (min-combining), which is
+ * what lets the apps bit-audit their results against the references.
+ *
+ * Reference algorithms (sequential, on the whole graph) live here too:
+ * level-synchronous BFS with deterministic min-parent trees, power-
+ * iteration PageRank summing in fixed in-edge CSR order, and Dijkstra
+ * for SSSP (deliberately a different algorithm than the distributed
+ * delta-stepping it verifies).
+ */
+
+#ifndef ALEWIFE_WORKLOAD_GRAPH_HH
+#define ALEWIFE_WORKLOAD_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alewife::workload {
+
+/** Graph generator family. */
+enum class GraphFamily : std::uint8_t
+{
+    Uniform = 0, ///< uniform random out-neighbours
+    RMat,        ///< power-law recursive-matrix generator
+    Grid2d,      ///< 2D grid stencil
+};
+
+const char *graphFamilyName(GraphFamily f);
+GraphFamily graphFamilyFromName(const std::string &s);
+
+/** Parameters of a synthetic partitioned graph. */
+struct GraphParams
+{
+    GraphFamily family = GraphFamily::Uniform;
+    /** Requested vertex count (RMat rounds up to a power of two,
+     *  Grid2d rounds down to a square). */
+    std::int32_t vertices = 1024;
+    /** Directed edges per vertex (edge factor). */
+    int avgDegree = 8;
+    /** RMat quadrant probabilities; d = 1 - a - b - c. */
+    double rmatA = 0.57, rmatB = 0.19, rmatC = 0.19;
+    /** Edge weights drawn uniformly from [1, maxWeight]. */
+    int maxWeight = 15;
+    int nprocs = 32;
+    std::uint64_t seed = 42;
+};
+
+/** A directed graph in CSR form, block-partitioned over processors. */
+struct PartitionedGraph
+{
+    GraphParams params;
+    std::int32_t n = 0; ///< actual vertex count after rounding
+
+    /** Out-edges: dst/weight of edge k of vertex v in
+     *  [outRow[v], outRow[v+1]). */
+    std::vector<std::int32_t> outRow;
+    std::vector<std::int32_t> outDst;
+    std::vector<std::int32_t> outW;
+
+    /** In-edges (transpose), sources in ascending order per vertex. */
+    std::vector<std::int32_t> inRow;
+    std::vector<std::int32_t> inSrc;
+    std::vector<std::int32_t> inW;
+
+    int owner(std::int32_t v) const;
+    std::int32_t firstVertex(int proc) const;
+    std::int32_t numVerticesOn(int proc) const;
+
+    std::int64_t numEdges() const
+    {
+        return static_cast<std::int64_t>(outDst.size());
+    }
+
+    std::int32_t outDegree(std::int32_t v) const
+    {
+        return outRow[v + 1] - outRow[v];
+    }
+
+    /** First vertex with at least one out-edge (default BFS/SSSP root). */
+    std::int32_t defaultRoot() const;
+};
+
+/** Generate a graph deterministically from @p p. */
+PartitionedGraph makeGraph(const GraphParams &p);
+
+// ---------------------------------------------------------------------
+// Sequential references
+// ---------------------------------------------------------------------
+
+/** BFS result: depth[v] (-1 unreached) and the deterministic parent
+ *  tree parent[v] = min{u : u->v edge, depth[u] == depth[v]-1}
+ *  (parent[root] == root, parent of unreached == -1). */
+struct BfsRef
+{
+    std::vector<std::int32_t> depth;
+    std::vector<std::int32_t> parent;
+    std::int32_t maxDepth = 0; ///< largest finite depth
+};
+
+BfsRef bfsReference(const PartitionedGraph &g, std::int32_t root);
+
+/**
+ * Power-iteration PageRank, @p iters rounds, summing each vertex's
+ * contributions in in-edge CSR order — the exact double-arithmetic
+ * order the distributed variants use, so results are bit-identical.
+ * Dangling vertices simply leak their mass (identically in the
+ * distributed implementations).
+ */
+std::vector<double> pagerankReference(const PartitionedGraph &g,
+                                      int iters, double damping);
+
+/** Dijkstra distances from @p root; -1 for unreachable vertices. */
+std::vector<std::int64_t> dijkstraReference(const PartitionedGraph &g,
+                                            std::int32_t root);
+
+} // namespace alewife::workload
+
+#endif // ALEWIFE_WORKLOAD_GRAPH_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Graph workload-family integration tests: every catalog app
+ * self-verifies (bit-audited digest) under every mechanism, at 16 and
+ * 64 nodes, with the invariant auditor attached; results are
+ * bit-identical with observability attached or detached; and the
+ * per-phase traffic accounting feeding the point-to-point cost model
+ * is config-independent (the property ext3_graph_sweep relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "apps/graph/catalog.hh"
+#include "core/runner.hh"
+
+namespace alewife::apps::graph {
+namespace {
+
+using core::Mechanism;
+
+GraphAppParams
+smallParams(workload::GraphFamily f, int nprocs)
+{
+    GraphAppParams p;
+    p.graph.family = f;
+    p.graph.vertices = nprocs == 16 ? 400 : 768;
+    p.graph.avgDegree = 5;
+    p.graph.nprocs = nprocs;
+    p.graph.seed = 11;
+    p.iters = 2;
+    return p;
+}
+
+MachineConfig
+meshFor(int nprocs)
+{
+    MachineConfig cfg;
+    cfg.meshX = nprocs == 16 ? 4 : 8;
+    cfg.meshY = nprocs == 16 ? 4 : 8;
+    return cfg;
+}
+
+void
+runAllAppsAudited(int nprocs, Mechanism mech)
+{
+    const auto p = smallParams(workload::GraphFamily::Uniform, nprocs);
+    for (const CatalogEntry &e : catalog()) {
+        auto app = e.make(p)();
+        core::RunSpec spec;
+        spec.machine = meshFor(nprocs);
+        spec.mechanism = mech;
+        spec.audit = true; // InvariantAuditor on for every run
+        const auto r = core::runApp(*app, spec, false);
+        EXPECT_TRUE(r.verified)
+            << e.name << " @" << nprocs << ": got " << r.checksum
+            << " want " << r.reference;
+        EXPECT_GT(r.runtimeCycles, 0.0);
+    }
+}
+
+class GraphAllMechanisms : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(GraphAllMechanisms, EveryAppSelfVerifiesAudited16Nodes)
+{
+    runAllAppsAudited(16, GetParam());
+}
+
+TEST_P(GraphAllMechanisms, EveryAppSelfVerifiesAudited64Nodes)
+{
+    runAllAppsAudited(64, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, GraphAllMechanisms,
+    ::testing::Values(Mechanism::SharedMemory,
+                      Mechanism::SharedMemoryPrefetch,
+                      Mechanism::MpInterrupt, Mechanism::MpPolling,
+                      Mechanism::BulkTransfer),
+    [](const auto &info) {
+        switch (info.param) {
+          case Mechanism::SharedMemory: return std::string("SM");
+          case Mechanism::SharedMemoryPrefetch: return std::string("SMPF");
+          case Mechanism::MpInterrupt: return std::string("MPI");
+          case Mechanism::MpPolling: return std::string("MPP");
+          case Mechanism::BulkTransfer: return std::string("BULK");
+          default: return std::string("X");
+        }
+    });
+
+TEST(GraphApps, AttachedAndDetachedRunsAreBitIdentical)
+{
+    const auto p = smallParams(workload::GraphFamily::RMat, 16);
+    const auto factory = makeApp("bfs", p);
+    for (const Mechanism mech :
+         {Mechanism::SharedMemory, Mechanism::MpInterrupt}) {
+        core::RunSpec plain;
+        plain.machine = meshFor(16);
+        plain.mechanism = mech;
+        const auto bare = core::runApp(factory, plain);
+
+        const std::string out =
+            (std::filesystem::temp_directory_path()
+             / "alewife-graph-metrics.json")
+                .string();
+        core::RunSpec attached = plain;
+        attached.audit = true;
+        attached.obs.metricsOut = out;
+        attached.obs.intervalCycles = 5000;
+        const auto obs = core::runApp(factory, attached);
+
+        EXPECT_EQ(bare.checksum, obs.checksum);
+        EXPECT_EQ(bare.runtimeCycles, obs.runtimeCycles);
+        EXPECT_EQ(bare.simEvents, obs.simEvents);
+        EXPECT_EQ(bare.volume.total(), obs.volume.total());
+
+        // The attached run exported the app's traffic metrics.
+        std::ifstream in(out);
+        ASSERT_TRUE(in.good());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        EXPECT_NE(ss.str().find("graph.sent_values"),
+                  std::string::npos);
+        EXPECT_NE(ss.str().find("graph.model.predicted_comm_cycles"),
+                  std::string::npos);
+        std::remove(out.c_str());
+    }
+}
+
+TEST(GraphApps, TrafficAccountingBalancesAndPricesPositive)
+{
+    const auto p = smallParams(workload::GraphFamily::RMat, 16);
+    for (const char *name : {"bfs", "pagerank-push", "sssp"}) {
+        auto app = makeApp(name, p)();
+        auto &gapp = dynamic_cast<GraphAppBase &>(*app);
+        core::RunSpec spec;
+        spec.machine = meshFor(16);
+        spec.mechanism = Mechanism::MpPolling;
+        core::runApp(*app, spec);
+
+        const TrafficStats &t = gapp.traffic();
+        EXPECT_GT(t.totalSent(), 0u) << name;
+        EXPECT_GT(t.totalMsgs(), 0u) << name;
+        EXPECT_GT(t.phases(), 0u) << name;
+        // Every value sent between partitions is received somewhere.
+        const auto recv = std::accumulate(t.recvValues.begin(),
+                                          t.recvValues.end(),
+                                          std::uint64_t{0});
+        EXPECT_EQ(t.totalSent(), recv) << name;
+        EXPECT_GE(t.sendSkew(), 1.0) << name;
+        EXPECT_GT(gapp.costModel().predictCommCycles(t), 0.0) << name;
+    }
+}
+
+TEST(GraphApps, TrafficIsConfigIndependent)
+{
+    // One base-configuration run prices every latency/bandwidth
+    // variant (the structure of ext3_graph_sweep): the per-phase
+    // traffic must not depend on the network parameters.
+    const auto p = smallParams(workload::GraphFamily::Uniform, 16);
+    const auto runTraffic = [&](double hopNs, double linkMBps) {
+        auto app = makeApp("pagerank-push", p)();
+        auto &gapp = dynamic_cast<GraphAppBase &>(*app);
+        core::RunSpec spec;
+        spec.machine = meshFor(16);
+        spec.machine.hopNs = hopNs;
+        spec.machine.linkMBps = linkMBps;
+        spec.mechanism = Mechanism::MpInterrupt;
+        core::runApp(*app, spec);
+        return gapp.traffic();
+    };
+    const TrafficStats base = runTraffic(40.0, 45.0);
+    const TrafficStats slow = runTraffic(400.0, 9.0);
+    EXPECT_EQ(base.phases(), slow.phases());
+    EXPECT_EQ(base.sentValues, slow.sentValues);
+    EXPECT_EQ(base.recvValues, slow.recvValues);
+    EXPECT_EQ(base.sentMsgs, slow.sentMsgs);
+    EXPECT_EQ(base.phaseSent, slow.phaseSent);
+}
+
+TEST(GraphApps, CostModelMonotoneInLatencyAndBandwidth)
+{
+    const auto p = smallParams(workload::GraphFamily::RMat, 16);
+    auto app = makeApp("bfs", p)();
+    auto &gapp = dynamic_cast<GraphAppBase &>(*app);
+    core::RunSpec spec;
+    spec.machine = meshFor(16);
+    spec.mechanism = Mechanism::MpPolling;
+    core::runApp(*app, spec);
+    const TrafficStats &t = gapp.traffic();
+
+    MachineConfig base = meshFor(16);
+    const double c0 = CostModel::fromConfig(base, 6.0)
+                          .predictCommCycles(t);
+    MachineConfig lat = base;
+    lat.hopNs *= 10;
+    MachineConfig bw = base;
+    bw.linkMBps /= 5;
+    EXPECT_GT(CostModel::fromConfig(lat, 6.0).predictCommCycles(t), c0);
+    EXPECT_GT(CostModel::fromConfig(bw, 6.0).predictCommCycles(t), c0);
+}
+
+TEST(GraphApps, CatalogLookupAndKeys)
+{
+    EXPECT_NE(findApp("bfs"), nullptr);
+    EXPECT_NE(findApp("pagerank"), nullptr);
+    EXPECT_NE(findApp("pagerank-push"), nullptr);
+    EXPECT_NE(findApp("sssp"), nullptr);
+    EXPECT_EQ(findApp("nonesuch"), nullptr);
+    EXPECT_EQ(catalogNames().size(), catalog().size());
+
+    // Keys separate apps and any result-affecting parameter.
+    const auto p = smallParams(workload::GraphFamily::Uniform, 16);
+    auto q = p;
+    q.graph.seed = 12;
+    EXPECT_NE(catalogKey("bfs", p), catalogKey("sssp", p));
+    EXPECT_NE(catalogKey("bfs", p), catalogKey("bfs", q));
+    EXPECT_EQ(catalogKey("bfs", p), catalogKey("bfs", p));
+}
+
+} // namespace
+} // namespace alewife::apps::graph

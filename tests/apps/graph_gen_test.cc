@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Property tests of the synthetic graph generators: seeded
+ * determinism, family shape (R-MAT skew vs uniform balance), block
+ * partition balance, transpose integrity, and cross-consistency of
+ * the three sequential references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/graph.hh"
+
+namespace alewife::workload {
+namespace {
+
+GraphParams
+baseParams(GraphFamily f)
+{
+    GraphParams p;
+    p.family = f;
+    p.vertices = 2048;
+    p.avgDegree = 8;
+    p.nprocs = 16;
+    p.seed = 42;
+    return p;
+}
+
+std::vector<std::int32_t>
+inDegrees(const PartitionedGraph &g)
+{
+    std::vector<std::int32_t> d(g.n);
+    for (std::int32_t v = 0; v < g.n; ++v)
+        d[v] = g.inRow[v + 1] - g.inRow[v];
+    return d;
+}
+
+TEST(GraphGen, SameSeedIsBitIdentical)
+{
+    for (const GraphFamily f : {GraphFamily::Uniform, GraphFamily::RMat,
+                                GraphFamily::Grid2d}) {
+        const auto a = makeGraph(baseParams(f));
+        const auto b = makeGraph(baseParams(f));
+        EXPECT_EQ(a.n, b.n);
+        EXPECT_EQ(a.outRow, b.outRow);
+        EXPECT_EQ(a.outDst, b.outDst);
+        EXPECT_EQ(a.outW, b.outW);
+        EXPECT_EQ(a.inRow, b.inRow);
+        EXPECT_EQ(a.inSrc, b.inSrc);
+        EXPECT_EQ(a.inW, b.inW);
+    }
+}
+
+TEST(GraphGen, DifferentSeedsDiffer)
+{
+    for (const GraphFamily f :
+         {GraphFamily::Uniform, GraphFamily::RMat}) {
+        auto p = baseParams(f);
+        const auto a = makeGraph(p);
+        p.seed = 43;
+        const auto b = makeGraph(p);
+        EXPECT_NE(a.outDst, b.outDst) << graphFamilyName(f);
+    }
+    // Grid2d edges are structural; only the weights are seeded.
+    auto p = baseParams(GraphFamily::Grid2d);
+    const auto a = makeGraph(p);
+    p.seed = 43;
+    const auto b = makeGraph(p);
+    EXPECT_EQ(a.outDst, b.outDst);
+    EXPECT_NE(a.outW, b.outW);
+}
+
+TEST(GraphGen, FamilyShapes)
+{
+    // Uniform draws avgDegree out-neighbours per vertex (a draw is
+    // abandoned only after eight consecutive self-loop retries).
+    const auto uni = makeGraph(baseParams(GraphFamily::Uniform));
+    EXPECT_EQ(uni.n, 2048);
+    EXPECT_LE(uni.numEdges(), 2048 * 8);
+    EXPECT_GE(uni.numEdges(), 2048 * 8 - 8);
+
+    // R-MAT rounds the vertex count up to a power of two.
+    auto pr = baseParams(GraphFamily::RMat);
+    pr.vertices = 1500;
+    const auto rmat = makeGraph(pr);
+    EXPECT_EQ(rmat.n, 2048);
+    EXPECT_GT(rmat.numEdges(), 0);
+
+    // Grid2d rounds down to a square; interior vertices have 4
+    // out-neighbours, none has more.
+    auto pg = baseParams(GraphFamily::Grid2d);
+    pg.vertices = 2047;
+    const auto grid = makeGraph(pg);
+    EXPECT_EQ(grid.n, 45 * 45);
+    std::int32_t maxDeg = 0;
+    for (std::int32_t v = 0; v < grid.n; ++v)
+        maxDeg = std::max(maxDeg, grid.outDegree(v));
+    EXPECT_EQ(maxDeg, 4);
+}
+
+TEST(GraphGen, RmatInDegreeSkewExceedsUniform)
+{
+    const auto uni = makeGraph(baseParams(GraphFamily::Uniform));
+    const auto rmat = makeGraph(baseParams(GraphFamily::RMat));
+    const auto du = inDegrees(uni);
+    const auto dr = inDegrees(rmat);
+    const auto maxU = *std::max_element(du.begin(), du.end());
+    const auto maxR = *std::max_element(dr.begin(), dr.end());
+    // Uniform in-degrees are Poisson-like around avgDegree; the
+    // power-law generator must concentrate far more on its hubs.
+    EXPECT_GT(maxR, 2 * maxU);
+    EXPECT_GT(maxR, 4 * 8); // a hub at least 4x the mean degree
+}
+
+TEST(GraphGen, PartitionIsBalancedAndCoversAllVertices)
+{
+    for (const GraphFamily f : {GraphFamily::Uniform, GraphFamily::RMat,
+                                GraphFamily::Grid2d}) {
+        const auto g = makeGraph(baseParams(f));
+        const int np = g.params.nprocs;
+        const std::int32_t cap = (g.n + np - 1) / np;
+        std::int64_t covered = 0;
+        for (int p = 0; p < np; ++p) {
+            const std::int32_t cnt = g.numVerticesOn(p);
+            EXPECT_LE(cnt, cap);
+            EXPECT_GE(cnt, 0);
+            for (std::int32_t v = g.firstVertex(p);
+                 v < g.firstVertex(p) + cnt; ++v)
+                EXPECT_EQ(g.owner(v), p);
+            covered += cnt;
+        }
+        EXPECT_EQ(covered, g.n) << graphFamilyName(f);
+    }
+}
+
+TEST(GraphGen, TransposeMatchesOutEdges)
+{
+    const auto g = makeGraph(baseParams(GraphFamily::RMat));
+    ASSERT_EQ(g.inSrc.size(), g.outDst.size());
+    // Sources ascend within each vertex's in-edge list (the property
+    // the deterministic BFS min-parent rule and the fixed PageRank
+    // summation order rely on).
+    for (std::int32_t v = 0; v < g.n; ++v)
+        for (std::int32_t k = g.inRow[v] + 1; k < g.inRow[v + 1]; ++k)
+            EXPECT_LE(g.inSrc[k - 1], g.inSrc[k]);
+    // Every out-edge appears exactly once in the transpose with the
+    // same weight: compare multisets of (src, dst, w) triples.
+    std::vector<std::uint64_t> fwd, rev;
+    fwd.reserve(g.outDst.size());
+    rev.reserve(g.inSrc.size());
+    for (std::int32_t u = 0; u < g.n; ++u)
+        for (std::int32_t k = g.outRow[u]; k < g.outRow[u + 1]; ++k)
+            fwd.push_back((std::uint64_t(u) << 36)
+                          | (std::uint64_t(g.outDst[k]) << 8)
+                          | std::uint64_t(g.outW[k]));
+    for (std::int32_t v = 0; v < g.n; ++v)
+        for (std::int32_t k = g.inRow[v]; k < g.inRow[v + 1]; ++k)
+            rev.push_back((std::uint64_t(g.inSrc[k]) << 36)
+                          | (std::uint64_t(v) << 8)
+                          | std::uint64_t(g.inW[k]));
+    std::sort(fwd.begin(), fwd.end());
+    std::sort(rev.begin(), rev.end());
+    EXPECT_EQ(fwd, rev);
+}
+
+TEST(GraphGen, ReferencesAreMutuallyConsistent)
+{
+    for (const GraphFamily f :
+         {GraphFamily::Uniform, GraphFamily::Grid2d}) {
+        const auto g = makeGraph(baseParams(f));
+        const auto root = g.defaultRoot();
+        const auto bfs = bfsReference(g, root);
+        const auto dist = dijkstraReference(g, root);
+        ASSERT_EQ(bfs.depth.size(), std::size_t(g.n));
+        ASSERT_EQ(dist.size(), std::size_t(g.n));
+        EXPECT_EQ(bfs.depth[root], 0);
+        EXPECT_EQ(bfs.parent[root], root);
+        for (std::int32_t v = 0; v < g.n; ++v) {
+            // Reachability agrees between BFS and Dijkstra; weighted
+            // distance is bounded by hops * weight range.
+            EXPECT_EQ(bfs.depth[v] < 0, dist[v] < 0);
+            if (bfs.depth[v] >= 0) {
+                EXPECT_GE(dist[v], bfs.depth[v]); // weights >= 1
+                EXPECT_LE(dist[v],
+                          std::int64_t(bfs.depth[v])
+                              * g.params.maxWeight);
+            }
+        }
+    }
+    // PageRank mass: ranks are positive and sum to at most 1 (dangling
+    // vertices leak mass; with none, the sum is exactly conserved).
+    const auto g = makeGraph(baseParams(GraphFamily::Uniform));
+    const auto pr = pagerankReference(g, 4, 0.85);
+    const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    for (const double r : pr)
+        EXPECT_GT(r, 0.0);
+}
+
+} // namespace
+} // namespace alewife::workload

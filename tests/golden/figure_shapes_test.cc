@@ -14,6 +14,7 @@
 #include <map>
 
 #include "apps/em3d.hh"
+#include "apps/graph/catalog.hh"
 #include "apps/iccg.hh"
 #include "apps/moldyn.hh"
 #include "apps/unstruc.hh"
@@ -210,6 +211,76 @@ TEST(GoldenFig9, SharedMemoryDegradesFasterWithClockScaling)
     EXPECT_LE(mpp, 1.15);
     EXPECT_GE(sm, 1.2 * mpi);     // SM clearly the latency-sensitive one
     EXPECT_GE(sm, 1.2 * mpp);
+}
+
+// --------------------------------------------------------------------
+// EXT3 (graph-analytics extension): shape assertions for the
+// irregular point-to-point traffic regime.
+// --------------------------------------------------------------------
+
+apps::graph::GraphAppParams
+graphParams(workload::GraphFamily f)
+{
+    apps::graph::GraphAppParams p;
+    p.graph.family = f;
+    p.graph.vertices = 1024;
+    p.graph.avgDegree = 8;
+    p.iters = 3;
+    return p;
+}
+
+/**
+ * EXT3: on a power-law graph, push PageRank sends one message per
+ * cross edge every round — the high-message-rate regime where polled
+ * delivery beats interrupts (per-message dispatch dominates), and
+ * where per-word shared-memory traversal loses to batched messages.
+ */
+TEST(GoldenExt3, PollingBeatsInterruptsOnSkewedPushTraffic)
+{
+    const auto rt = baseRuntimes(apps::graph::makeApp(
+        "pagerank-push", graphParams(workload::GraphFamily::RMat)));
+    EXPECT_LE(rt.at(Mechanism::MpPolling),
+              rt.at(Mechanism::MpInterrupt));
+    EXPECT_LT(rt.at(Mechanism::MpPolling),
+              rt.at(Mechanism::SharedMemory));
+}
+
+TEST(GoldenExt3, MessagePassingBeatsSharedMemoryOnBfs)
+{
+    const auto rt = baseRuntimes(apps::graph::makeApp(
+        "bfs", graphParams(workload::GraphFamily::RMat)));
+    // BFS claims batch six to a message; SM pays a round-trip rmw per
+    // cross-edge claim plus the partition scan.
+    EXPECT_LT(rt.at(Mechanism::MpPolling),
+              rt.at(Mechanism::SharedMemory));
+    EXPECT_LE(rt.at(Mechanism::MpPolling),
+              rt.at(Mechanism::MpInterrupt));
+}
+
+/**
+ * EXT3: hop-latency sensitivity mirrors the paper's Figure 9 story on
+ * the graph family — the shared-memory BFS (round-trip per claim)
+ * degrades faster than batched message passing when hop latency
+ * grows 10x.
+ */
+TEST(GoldenExt3, SharedMemoryBfsMoreLatencySensitive)
+{
+    const auto factory = apps::graph::makeApp(
+        "bfs", graphParams(workload::GraphFamily::Uniform));
+    auto runtimeAt = [&](Mechanism m, double hopNs) {
+        core::RunSpec spec;
+        spec.machine.hopNs = hopNs;
+        spec.mechanism = m;
+        const auto r = core::runApp(factory, spec);
+        EXPECT_TRUE(r.verified);
+        return r.runtimeCycles;
+    };
+    const double sm = runtimeAt(Mechanism::SharedMemory, 400.0)
+                      / runtimeAt(Mechanism::SharedMemory, 40.0);
+    const double mpp = runtimeAt(Mechanism::MpPolling, 400.0)
+                       / runtimeAt(Mechanism::MpPolling, 40.0);
+    EXPECT_GT(sm, 1.0);
+    EXPECT_GT(sm, mpp);
 }
 
 } // namespace
