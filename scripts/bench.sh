@@ -17,4 +17,9 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$JOBS" --target perf_kernel
 
 printf '\n=== perf_kernel ===\n'
-"./$BUILD/bench/perf_kernel" --out BENCH_kernel.json "$@"
+# Record the exact tree the numbers came from (schema v2 build.git_sha;
+# "unknown" when run outside the wrapper or git).
+SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+git diff --quiet 2>/dev/null || SHA="$SHA-dirty"
+ALEWIFE_GIT_SHA="$SHA" \
+    "./$BUILD/bench/perf_kernel" --out BENCH_kernel.json "$@"

@@ -27,6 +27,8 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
         m.addCrossTraffic(spec.crossTraffic);
     if (spec.perturb.enabled())
         m.setPerturbation(spec.perturb);
+    if (spec.threads > 1)
+        m.setThreads(spec.threads);
 
     std::optional<check::InvariantAuditor> owned;
     if (!auditor && spec.audit)
@@ -80,6 +82,7 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
     r.volume = m.volume();
     r.counters = m.counters();
     r.simEvents = m.eq().eventsExecuted();
+    r.parallelWindows = m.parallelWindows();
 
     r.checksum = app.checksum();
     r.reference = app.reference();

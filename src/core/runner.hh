@@ -51,6 +51,10 @@ struct RunResult
     /** Simulator diagnostics. */
     std::uint64_t simEvents = 0;
 
+    /** Windows committed by the parallel engine; 0 = serial kernel.
+     *  Diagnostic only — every other field is identical either way. */
+    std::uint64_t parallelWindows = 0;
+
     /** Cycles per category, averaged over nodes. */
     double avgCycles(TimeCat c) const;
 };
@@ -73,6 +77,13 @@ struct RunSpec
      * bypasses cache reads instead so the files actually get written.
      */
     obs::RecorderOptions obs;
+
+    /**
+     * Intra-run worker threads (Machine::setThreads). Results are
+     * bit-identical at any thread count, so — like obs — this is not
+     * part of result-cache keys.
+     */
+    int threads = 1;
 };
 
 /**

@@ -4,10 +4,17 @@
 
 #include "check/hooks.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace alewife {
 
 namespace detail {
+
+void
+EventPool::parallelRelease(std::uint32_t idx)
+{
+    par->workerRelease(idx);
+}
 
 void
 EventPool::addSlab()
@@ -30,14 +37,14 @@ bool
 EventHandle::pending() const
 {
     detail::EventPool *pool = pool_.get();
-    return pool && pool->queueAlive && pool->slot(idx_).gen == gen_;
+    return pool && pool->queueAlive && pool->slot(idx_).genNow() == gen_;
 }
 
 void
 EventHandle::cancel()
 {
     detail::EventPool *pool = pool_.get();
-    if (pool && pool->queueAlive && pool->slot(idx_).gen == gen_)
+    if (pool && pool->queueAlive && pool->slot(idx_).genNow() == gen_)
         pool->release(idx_); // stale heap entry is skipped on pop
 }
 
@@ -72,7 +79,7 @@ EventQueue::step()
         const Entry e = heap_.top();
         heap_.pop();
         detail::EventPool::Slot &slot = pool_->slot(e.idx);
-        if (slot.gen != e.gen)
+        if (slot.genNow() != e.gen)
             continue; // cancelled
         now_ = e.when;
         ++executed_;
@@ -83,7 +90,7 @@ EventQueue::step()
         // only afterwards, so it cannot be handed out mid-execution.
         // Slot addresses are stable across addSlab, so `slot` stays
         // valid even if the callback grows the pool.
-        ++slot.gen;
+        slot.bumpGen();
         slot.fn();
         slot.fn.reset();
         slot.nextFree = pool_->freeHead;
@@ -130,6 +137,25 @@ EventQueue::peekNextTick()
         return heap_.top().when;
     }
     return std::nullopt;
+}
+
+Tick
+EventQueue::parallelNow() const
+{
+    return par_->workerNow();
+}
+
+std::uint32_t
+EventQueue::parallelAllocate(Tick when)
+{
+    return par_->workerAllocate(when);
+}
+
+EventHandle
+EventQueue::parallelPush(Tick when, std::uint32_t idx,
+                         std::uint64_t gen)
+{
+    return par_->workerSchedule(when, idx, gen);
 }
 
 bool

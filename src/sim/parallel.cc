@@ -1,0 +1,625 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+
+#include "check/hooks.hh"
+#include "sim/logging.hh"
+
+namespace alewife::sim {
+
+namespace {
+
+/** Polite spin: pause the pipeline without yielding the core. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin for a while, then fall back to the scheduler. */
+inline void
+spinBackoff(unsigned &spins)
+{
+    if (++spins < (1u << 14))
+        cpuRelax();
+    else
+        std::this_thread::yield();
+}
+
+/**
+ * Published before any worker's first event of a window (every real
+ * event orders at-or-after it, so the gate always waits for a worker
+ * that has not started), and after its last (every real event orders
+ * before it, so exhausted workers never block anyone).
+ */
+constexpr ExecRecord kStartRec{0, 0, 0, nullptr, 0};
+constexpr ExecRecord kDoneRec{std::numeric_limits<Tick>::max(),
+                              std::numeric_limits<std::uint64_t>::max(),
+                              std::numeric_limits<std::uint64_t>::max(),
+                              nullptr, 0};
+
+/** Sense-reversing spin barrier; std::barrier is too heavy for the
+ *  two crossings per (microsecond-scale) window. */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int n) : n_(n) {}
+
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t phase =
+            phase_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.store(phase + 1, std::memory_order_release);
+        } else {
+            unsigned spins = 0;
+            while (phase_.load(std::memory_order_acquire) == phase)
+                spinBackoff(spins);
+        }
+    }
+
+  private:
+    const int n_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+};
+
+/** Slots handed to a worker's free cache per pool-mutex acquisition. */
+constexpr int kPoolRefill = 128;
+
+} // namespace
+
+/** One event of a worker's window walk, in (when, pri, ord) order. */
+struct WalkEv
+{
+    Tick when;
+    std::uint64_t pri;
+    /**
+     * Walk-order scalar: the seq for concrete events; for staged
+     * events, bit 63 + a per-worker counter. Staged seqs are assigned
+     * after every pre-window seq, so staged-after-concrete at key ties
+     * is the serial order; two staged events on one worker were staged
+     * in their serial schedule order (in-window children are always
+     * same-LP, so no other worker can interleave calls), making the
+     * counter order exact as well.
+     */
+    std::uint64_t ord;
+    std::int32_t stagedSlot; ///< index into staged[]; -1 = concrete
+    std::uint32_t idx;
+    std::uint64_t gen;
+    std::int32_t lp;
+};
+
+/** One schedule() call made during the window (normal mode). */
+struct StagedEv
+{
+    Tick when;
+    std::uint32_t idx;
+    std::uint64_t gen;
+    const ExecRecord *parent;
+    std::uint32_t childIdx;
+    /** Exec record if the event also ran inside this window. */
+    ExecRecord *rec;
+};
+
+/** Per-executed-event log entry driving the commit seq replay. */
+struct LogEnt
+{
+    ExecRecord *rec;
+    std::uint32_t stagedBase;
+    std::uint32_t stagedCount;
+};
+
+struct alignas(64) ParallelWorker
+{
+    int id = 0;
+    std::int32_t curLp = -1;
+    /** This worker's share of the window, sorted by (when, pri, ord). */
+    std::vector<WalkEv> walk;
+    std::size_t cursor = 0;
+    /** Exec records; deque so pointers stay stable across growth. */
+    std::deque<ExecRecord> arena;
+    std::vector<StagedEv> staged;
+    std::vector<LogEnt> log;
+    std::uint64_t localOrd = 0;
+    /** Current event context, read by the queue reroutes. */
+    ExecRecord *cur = nullptr;
+    Tick curWhen = 0;
+    std::uint32_t childCount = 0;
+    /** Private cache of pool free slots (slot reuse stays per-worker
+     *  within a window, so generation words have a single writer). */
+    std::vector<std::uint32_t> freeCache;
+    std::uint64_t executed = 0;
+    Tick maxWhen = 0;
+    /** Published position: exec record of the current event. */
+    std::atomic<const ExecRecord *> pos{&kStartRec};
+};
+
+struct ParallelShared
+{
+    SpinBarrier bar;
+    std::atomic<bool> shutdown{false};
+    std::mutex poolMu;
+    std::vector<std::unique_ptr<ParallelWorker>> workers;
+    std::vector<std::size_t> mergeCursor;
+
+    explicit ParallelShared(int n) : bar(n) {}
+};
+
+namespace {
+thread_local ParallelWorker *t_worker = nullptr;
+
+bool
+walkLess(const WalkEv &a, const WalkEv &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.pri != b.pri)
+        return a.pri < b.pri;
+    return a.ord < b.ord;
+}
+
+/** Insert an in-window child into the owner's remaining walk. */
+void
+insertWalk(ParallelWorker &w, const WalkEv &we)
+{
+    const auto it = std::lower_bound(
+        w.walk.begin() + static_cast<std::ptrdiff_t>(w.cursor),
+        w.walk.end(), we, walkLess);
+    w.walk.insert(it, we);
+}
+
+} // namespace
+
+bool
+onParallelWorker()
+{
+    return t_worker != nullptr;
+}
+
+const ExecRecord *
+currentExecRecord()
+{
+    return t_worker ? t_worker->cur : nullptr;
+}
+
+bool
+execOrderLess(const ExecRecord *a, const ExecRecord *b)
+{
+    if (a == b)
+        return false;
+    if (a->when != b->when)
+        return a->when < b->when;
+    if (a->pri != b->pri)
+        return a->pri < b->pri;
+    const ExecRecord *pa = a->parent;
+    const ExecRecord *pb = b->parent;
+    if (!pa && !pb)
+        return a->seq < b->seq;
+    // Staged seqs are assigned after every pre-window seq, so a
+    // concrete event precedes any staged one at a full key tie.
+    if (!pa)
+        return true;
+    if (!pb)
+        return false;
+    if (pa == pb)
+        return a->childIdx < b->childIdx;
+    // A parent's schedule call runs during the parent's execution, so
+    // an event follows its own parent; otherwise two staged events
+    // order by when their parents executed.
+    if (pa == b)
+        return false;
+    if (pb == a)
+        return true;
+    return execOrderLess(pa, pb);
+}
+
+ParallelExec::ParallelExec(EventQueue &eq, ParallelOptions opts)
+    : eq_(eq), opts_(std::move(opts))
+{
+    if (opts_.threads < 1 || opts_.lookahead == 0 || opts_.lps < 1
+        || !opts_.classify)
+        ALEWIFE_PANIC("ParallelExec: bad options (threads=",
+                      opts_.threads, " lookahead=", opts_.lookahead,
+                      " lps=", opts_.lps, ")");
+    sh_ = std::make_unique<ParallelShared>(opts_.threads);
+    sh_->mergeCursor.resize(static_cast<std::size_t>(opts_.threads));
+    for (int i = 0; i < opts_.threads; ++i) {
+        auto w = std::make_unique<ParallelWorker>();
+        w->id = i;
+        sh_->workers.push_back(std::move(w));
+    }
+    // Concurrent slot() readers index slabs[] while the planning
+    // thread may grow it under the pool mutex; reserving up front
+    // keeps the element array in place (push_back within capacity
+    // never moves it), so growth and reads never touch the same
+    // memory. Capacity overflow panics in refillCache.
+    detail::EventPool &pool = *eq_.pool_.get();
+    pool.slabs.reserve(pool.slabs.size() + (1u << 16));
+    eq_.par_ = this;
+    pool.par = this;
+    attached_ = true;
+    for (int i = 1; i < opts_.threads; ++i)
+        pool_.emplace_back([this, i] { workerMain(i); });
+}
+
+ParallelExec::~ParallelExec() { detach(); }
+
+void
+ParallelExec::detach()
+{
+    if (!attached_)
+        return;
+    sh_->shutdown.store(true, std::memory_order_release);
+    sh_->bar.arriveAndWait();
+    for (auto &t : pool_)
+        t.join();
+    pool_.clear();
+    // Return every worker's cached free slots to the global list
+    // (their callbacks are already destroyed and generations bumped).
+    detail::EventPool &pool = *eq_.pool_.get();
+    for (auto &w : sh_->workers) {
+        for (const std::uint32_t idx : w->freeCache) {
+            pool.slot(idx).nextFree = pool.freeHead;
+            pool.freeHead = idx;
+        }
+        w->freeCache.clear();
+    }
+    pool.par = nullptr;
+    eq_.par_ = nullptr;
+    attached_ = false;
+}
+
+void
+ParallelExec::workerMain(int id)
+{
+    ParallelWorker &w = *sh_->workers[static_cast<std::size_t>(id)];
+    while (true) {
+        sh_->bar.arriveAndWait();
+        if (sh_->shutdown.load(std::memory_order_acquire))
+            return;
+        runWalk(w);
+        sh_->bar.arriveAndWait();
+    }
+}
+
+bool
+ParallelExec::plan()
+{
+    auto &heap = eq_.heap_;
+    while (!heap.empty() && !eq_.entryLive(heap.top()))
+        heap.pop();
+    if (heap.empty())
+        return false;
+
+    for (auto &wp : sh_->workers) {
+        ParallelWorker &w = *wp;
+        w.walk.clear();
+        w.cursor = 0;
+        w.arena.clear();
+        w.staged.clear();
+        w.log.clear();
+        w.localOrd = 0;
+        w.cur = nullptr;
+        w.curLp = -1;
+        w.childCount = 0;
+        w.executed = 0;
+        w.maxWhen = 0;
+        w.pos.store(&kStartRec, std::memory_order_relaxed);
+    }
+
+    const Tick start = heap.top().when;
+    const Tick la = opts_.lookahead;
+    bound_ = start > std::numeric_limits<Tick>::max() - la
+                 ? std::numeric_limits<Tick>::max()
+                 : start + la;
+
+    const auto threads = static_cast<std::size_t>(opts_.threads);
+    const auto lps = static_cast<std::size_t>(opts_.lps);
+    while (!heap.empty()) {
+        const EventQueue::Entry e = heap.top();
+        if (!eq_.entryLive(e)) {
+            heap.pop();
+            continue;
+        }
+        if (e.when >= bound_)
+            break;
+        heap.pop();
+        const detail::EventPool::Slot &slot = eq_.pool_->slot(e.idx);
+        const int lp = opts_.classify(slot.meta);
+        if (lp < 0 || lp >= opts_.lps) {
+            if (slot.siteFile)
+                ALEWIFE_PANIC("parallel engine: unclassifiable event "
+                              "scheduled at ",
+                              slot.siteFile, ":", slot.siteLine);
+            ALEWIFE_PANIC("parallel engine: event tag ",
+                          static_cast<int>(slot.meta.tag),
+                          " maps to LP ", lp, " (of ", opts_.lps, ")");
+        }
+        // Contiguous LP blocks per worker: heap pops ascend in
+        // (when, pri, seq), so each walk is born sorted.
+        ParallelWorker &w =
+            *sh_->workers[static_cast<std::size_t>(lp) * threads / lps];
+        w.walk.push_back(
+            WalkEv{e.when, e.pri, e.seq, -1, e.idx, e.gen, lp});
+    }
+    return true;
+}
+
+void
+ParallelExec::runWalk(ParallelWorker &w)
+{
+    t_worker = &w;
+    detail::EventPool &pool = *eq_.pool_.get();
+    check::Hooks *const hooks = opts_.hooks;
+    const bool staged = !opts_.gatedLive;
+    while (w.cursor < w.walk.size()) {
+        const WalkEv ev = w.walk[w.cursor++];
+        detail::EventPool::Slot &slot = pool.slot(ev.idx);
+        if (slot.genNow() != ev.gen)
+            continue; // cancelled
+        w.arena.emplace_back();
+        ExecRecord *const rec = &w.arena.back();
+        if (ev.stagedSlot < 0) {
+            *rec = ExecRecord{ev.when, ev.pri, ev.ord, nullptr, 0};
+        } else {
+            StagedEv &st =
+                w.staged[static_cast<std::size_t>(ev.stagedSlot)];
+            *rec = ExecRecord{ev.when, ev.pri, 0, st.parent,
+                              st.childIdx};
+            st.rec = rec;
+        }
+        w.cur = rec;
+        w.curWhen = ev.when;
+        w.curLp = ev.lp;
+        w.childCount = 0;
+        w.pos.store(rec, std::memory_order_release);
+        const auto stagedBase =
+            static_cast<std::uint32_t>(w.staged.size());
+        // Mirrors EventQueue::step(): the generation bump kills every
+        // outstanding handle/entry before the callback runs in place.
+        slot.bumpGen();
+        slot.fn();
+        slot.fn.reset();
+        w.freeCache.push_back(ev.idx);
+        ++w.executed;
+        if (ev.when > w.maxWhen)
+            w.maxWhen = ev.when;
+        if (staged)
+            w.log.push_back(LogEnt{
+                rec, stagedBase,
+                static_cast<std::uint32_t>(w.staged.size())
+                    - stagedBase});
+        if (hooks)
+            hooks->onEventExecuted(ev.when);
+        if (opts_.onRetired)
+            opts_.onRetired(ev.lp, rec);
+    }
+    w.pos.store(&kDoneRec, std::memory_order_release);
+    w.cur = nullptr;
+    t_worker = nullptr;
+}
+
+void
+ParallelExec::gateWait()
+{
+    ParallelWorker *const w = t_worker;
+    if (!w)
+        return; // serial phase: already exclusive
+    const ExecRecord *const me = w->cur;
+    const int threads = opts_.threads;
+    for (int i = 0; i < threads; ++i) {
+        if (i == w->id)
+            continue;
+        const ParallelWorker &o =
+            *sh_->workers[static_cast<std::size_t>(i)];
+        unsigned spins = 0;
+        while (!execOrderLess(
+            me, o.pos.load(std::memory_order_acquire)))
+            spinBackoff(spins);
+    }
+}
+
+void
+ParallelExec::assertOwner(int lp) const
+{
+    const ParallelWorker *const w = t_worker;
+    if (!w)
+        return; // serial phase
+    if (lp < 0 || lp >= opts_.lps)
+        ALEWIFE_PANIC("assertOwner: LP ", lp, " out of range (",
+                      opts_.lps, ")");
+    const int owner = static_cast<int>(
+        static_cast<std::size_t>(lp)
+        * static_cast<std::size_t>(opts_.threads)
+        / static_cast<std::size_t>(opts_.lps));
+    if (owner != w->id)
+        ALEWIFE_PANIC("per-node hook for LP ", lp, " fired on worker ",
+                      w->id, " (owner is worker ", owner,
+                      "): threading contract violated");
+}
+
+void
+ParallelExec::commit()
+{
+    const auto threads = static_cast<std::size_t>(opts_.threads);
+    if (!opts_.gatedLive) {
+        // Replay the window's schedule() calls in true serial order: a
+        // k-way merge over the per-worker execution logs, replaying
+        // each event's calls in call order. A head record's seq is
+        // always final by the time it surfaces — concrete events
+        // carried theirs in, and a staged event's parent sits earlier
+        // in the same worker's log.
+        std::vector<std::size_t> &li = sh_->mergeCursor;
+        std::fill(li.begin(), li.end(), 0);
+        while (true) {
+            std::size_t best = threads;
+            const ExecRecord *bestRec = nullptr;
+            for (std::size_t t = 0; t < threads; ++t) {
+                const ParallelWorker &w = *sh_->workers[t];
+                if (li[t] >= w.log.size())
+                    continue;
+                const ExecRecord *const r = w.log[li[t]].rec;
+                if (!bestRec || execOrderLess(r, bestRec)) {
+                    best = t;
+                    bestRec = r;
+                }
+            }
+            if (best == threads)
+                break;
+            ParallelWorker &w = *sh_->workers[best];
+            const LogEnt le = w.log[li[best]++];
+            for (std::uint32_t i = 0; i < le.stagedCount; ++i) {
+                StagedEv &st = w.staged[le.stagedBase + i];
+                // Cancelled or in-window events still consumed a seq
+                // in the serial order; assign it unconditionally.
+                const std::uint64_t s = eq_.seq_++;
+                if (st.rec)
+                    st.rec->seq = s;
+                else if (eq_.pool_->slot(st.idx).genNow() == st.gen)
+                    eq_.heap_.push(EventQueue::Entry{st.when, 0, s,
+                                                     st.gen, st.idx});
+            }
+        }
+    }
+    Tick maxWhen = eq_.now_;
+    std::uint64_t ran = 0;
+    for (auto &wp : sh_->workers) {
+        ran += wp->executed;
+        maxWhen = std::max(maxWhen, wp->maxWhen);
+    }
+    eq_.executed_ += ran;
+    eventsRun_ += ran;
+    eq_.now_ = maxWhen;
+    ++windows_;
+    if (opts_.hooks)
+        opts_.hooks->onParallelWindowCommit(bound_);
+}
+
+bool
+ParallelExec::runWindow()
+{
+    if (!plan())
+        return false;
+    sh_->bar.arriveAndWait();
+    runWalk(*sh_->workers[0]);
+    sh_->bar.arriveAndWait();
+    commit();
+    return true;
+}
+
+EventHandle
+ParallelExec::workerSchedule(Tick when, std::uint32_t idx,
+                             std::uint64_t gen)
+{
+    ParallelWorker *const wp = t_worker;
+    if (!wp) // between windows: plain serial scheduling
+        return eq_.pushEntrySerial(when, idx, gen);
+    ParallelWorker &w = *wp;
+    if (opts_.gatedLive) {
+        // Perturbed mode: the tie-break RNG and seq counter must be
+        // drawn in exact serial order, so every schedule() is a gated
+        // (serialized) operation. Correct but slow; perturbation is a
+        // fuzzing mode, not a measurement mode.
+        gateWait();
+        std::uint64_t pri = 0;
+        if (eq_.tieBreak_)
+            pri = when == w.curWhen
+                      ? std::numeric_limits<std::uint64_t>::max()
+                      : eq_.rng_.next();
+        const std::uint64_t seq = eq_.seq_++;
+        if (when < bound_)
+            insertWalk(w, WalkEv{when, pri, seq, -1, idx, gen, w.curLp});
+        else
+            eq_.heap_.push(
+                EventQueue::Entry{when, pri, seq, gen, idx});
+    } else {
+        const auto stagedSlot =
+            static_cast<std::int32_t>(w.staged.size());
+        w.staged.push_back(
+            StagedEv{when, idx, gen, w.cur, w.childCount++, nullptr});
+        // An in-window target is necessarily same-LP (anything
+        // cross-LP arrives at least one lookahead away, i.e. at or
+        // beyond the bound), so it joins this worker's own walk.
+        if (when < bound_)
+            insertWalk(w, WalkEv{when, 0,
+                                 (1ull << 63) | w.localOrd++,
+                                 stagedSlot, idx, gen, w.curLp});
+    }
+    // Worker handles skip the pool refcount (a non-atomic counter);
+    // they are machine-internal and never outlive the queue.
+    return EventHandle(detail::PoolRef::nonOwning(eq_.pool_.get()),
+                       idx, gen);
+}
+
+std::uint32_t
+ParallelExec::workerAllocate(Tick when)
+{
+    ParallelWorker *const w = t_worker;
+    if (!w) {
+        if (when < eq_.now_) [[unlikely]]
+            eq_.panicScheduledPast(when);
+        return eq_.pool_->allocate();
+    }
+    if (when < w->curWhen) [[unlikely]]
+        ALEWIFE_PANIC("event scheduled in the past: ", when, " < ",
+                      w->curWhen);
+    if (w->freeCache.empty())
+        refillCache(*w);
+    const std::uint32_t idx = w->freeCache.back();
+    w->freeCache.pop_back();
+    return idx;
+}
+
+void
+ParallelExec::refillCache(ParallelWorker &w)
+{
+    std::lock_guard<std::mutex> lock(sh_->poolMu);
+    detail::EventPool &pool = *eq_.pool_.get();
+    for (int i = 0; i < kPoolRefill; ++i) {
+        if (pool.freeHead == detail::EventPool::kNone) {
+            if (pool.slabs.size() == pool.slabs.capacity())
+                ALEWIFE_PANIC("parallel engine: event pool exceeded "
+                              "its reserved slab capacity");
+            pool.addSlab();
+        }
+        w.freeCache.push_back(pool.freeHead);
+        pool.freeHead = pool.slot(pool.freeHead).nextFree;
+    }
+}
+
+void
+ParallelExec::workerRelease(std::uint32_t idx)
+{
+    detail::EventPool &pool = *eq_.pool_.get();
+    detail::EventPool::Slot &s = pool.slot(idx);
+    s.fn.reset();
+    s.bumpGen();
+    if (ParallelWorker *const w = t_worker) {
+        w->freeCache.push_back(idx);
+    } else {
+        s.nextFree = pool.freeHead;
+        pool.freeHead = idx;
+    }
+}
+
+Tick
+ParallelExec::workerNow() const
+{
+    const ParallelWorker *const w = t_worker;
+    return w ? w->curWhen : eq_.now_;
+}
+
+} // namespace alewife::sim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Conservative time-windowed parallel execution of one EventQueue.
+ *
+ * The serial kernel executes events one at a time in (when, pri, seq)
+ * order. This engine partitions the machine into logical processes
+ * (LPs: one per node, plus one for cross-traffic), pops every event
+ * inside a safe window [start, start + lookahead) from the global
+ * RadixQueue, and executes the window on a pool of worker threads —
+ * each worker walking its own LPs' events in key order. The lookahead
+ * is the guaranteed minimum latency of any cross-LP interaction (mesh
+ * fixed cost + one hop), so no event inside the window can create
+ * work for another LP inside the same window; cross-LP events created
+ * during the window always land at or beyond the window bound and are
+ * delivered through per-worker staging buffers (the "mailboxes"),
+ * drained into the global queue at the window commit.
+ *
+ * Determinism contract: committed event order is exactly the serial
+ * (when, pri, seq) total order, and newly scheduled events receive the
+ * exact seq values the serial engine would have assigned. Two
+ * mechanisms make this true:
+ *
+ *  1. Staged scheduling (normal runs). schedule() calls made during a
+ *     window do not touch the shared seq counter; they record
+ *     (parent exec record, call index) instead. At the window commit a
+ *     single thread replays the window's per-worker execution logs in
+ *     true serial order (a k-way merge; a staged event's order resolves
+ *     through its parent's, terminating at pre-window events with
+ *     concrete seqs) and assigns seq_++ in exactly the order the serial
+ *     engine's schedule() calls would have run.
+ *
+ *  2. The order gate (shared simulation state). Operations that read
+ *     or mutate state shared between LPs — mesh link occupancy, packet
+ *     ids, perturbation RNG draws — spin until every other worker's
+ *     published position (the exec record of its current event) is
+ *     strictly after the caller's event in true order. Workers walk
+ *     their events in increasing key order, so the globally least
+ *     unretired event never waits and the gate is deadlock-free; gated
+ *     operations therefore run mutually exclusive, in exact serial
+ *     event order, with release/acquire visibility.
+ *
+ * Perturbed runs (EventQueue tie-break RNG) instead gate every
+ * schedule() call and assign seqs/priorities live — slower, but the
+ * RNG draw order is exactly serial, so fuzzed runs stay bit-identical
+ * too.
+ *
+ * Same-LP events scheduled inside the window (processor resumes,
+ * same-tick AM drains) are inserted into the owning worker's remaining
+ * walk, keeping per-LP execution in key order; their keys always
+ * exceed their parent's, so worker positions stay monotone and the
+ * gate argument holds.
+ */
+
+#ifndef ALEWIFE_SIM_PARALLEL_HH
+#define ALEWIFE_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/event_tag.hh"
+#include "sim/types.hh"
+
+namespace alewife::check {
+class Hooks;
+}
+
+namespace alewife::sim {
+
+// Implementation details of ParallelExec (parallel.cc): per-worker
+// window state and the shared barrier/pool-mutex block.
+struct ParallelWorker;
+struct ParallelShared;
+
+/**
+ * Execution-order record of one event run inside a window. Immutable
+ * once the owning worker publishes it as its position (seq is filled
+ * in for staged records by the single-threaded commit, after workers
+ * quiesce). parent == nullptr marks a *concrete* event (seq was
+ * assigned before the window started); otherwise the event was staged
+ * during this window by `parent`'s `childIdx`-th schedule() call.
+ */
+struct ExecRecord
+{
+    Tick when = 0;
+    std::uint64_t pri = 0;
+    std::uint64_t seq = 0;
+    const ExecRecord *parent = nullptr;
+    std::uint32_t childIdx = 0;
+};
+
+/**
+ * True serial order over events executed in one window: (when, pri),
+ * then concrete seq; at full ties a concrete event precedes any staged
+ * one (staged seqs are assigned later than every pre-window seq), and
+ * two staged events order by their parents' true order, then call
+ * index. Terminates because parent chains end at concrete events.
+ */
+bool execOrderLess(const ExecRecord *a, const ExecRecord *b);
+
+/** Options wiring one ParallelExec to its machine. */
+struct ParallelOptions
+{
+    /** Worker threads (including the caller, which runs worker 0). */
+    int threads = 2;
+    /** Safe window length; must be > 0 (minimum cross-LP latency). */
+    Tick lookahead = 0;
+    /** Number of LPs (machine nodes + 1 for the cross-traffic LP). */
+    int lps = 0;
+    /**
+     * Map an event to its owning LP. Must be pure and total over every
+     * tagged event; untagged events panic (they carry closures the
+     * engine cannot place). Called on the planning thread.
+     */
+    std::function<int(const EventMeta &)> classify;
+    /**
+     * Called on the owning worker after each event retires, with the
+     * event's LP and exec record (machine uses it to pin the record
+     * that completed each node's program). May be null.
+     */
+    std::function<void(int lp, const ExecRecord *rec)> onRetired;
+    /**
+     * Observer receiving onEventExecuted on the owning worker and
+     * onParallelWindowCommit on the commit thread. Must be
+     * parallel-capable (Hooks::parallelCapable()); the machine falls
+     * back to the serial engine otherwise.
+     */
+    check::Hooks *hooks = nullptr;
+    /**
+     * Perturbed mode: gate every schedule() call and assign seq/pri
+     * live in serial order instead of staging (tie-break RNG draws
+     * must happen in exactly the serial order).
+     */
+    bool gatedLive = false;
+};
+
+/** True when the calling thread is inside a window worker. */
+bool onParallelWorker();
+
+/** Exec record of the event the calling worker is executing. */
+const ExecRecord *currentExecRecord();
+
+/**
+ * The window engine. Constructing it attaches to the queue (rerouting
+ * schedule/now/cancel through per-worker state) and spawns
+ * threads - 1 workers; destruction (or detach()) joins them and
+ * restores the queue to pure serial operation. One window at a time:
+ * runWindow() plans on the calling thread, executes on all workers,
+ * and commits. The caller must be the constructing thread.
+ */
+class ParallelExec
+{
+  public:
+    ParallelExec(EventQueue &eq, ParallelOptions opts);
+    ~ParallelExec();
+
+    ParallelExec(const ParallelExec &) = delete;
+    ParallelExec &operator=(const ParallelExec &) = delete;
+
+    /**
+     * Execute one conservative window.
+     * @return false if no live event remained (nothing ran)
+     */
+    bool runWindow();
+
+    /** Join workers and restore the queue to serial operation. */
+    void detach();
+
+    /**
+     * Order gate: block until every event preceding the calling
+     * worker's current event (in true serial order) has retired. On
+     * return the caller's shared-state operation is the globally next
+     * one, and all earlier events' writes are visible. No-op off
+     * worker threads (serial phases are already exclusive).
+     */
+    void gateWait();
+
+    /**
+     * Debug aid: panic if the calling thread is a window worker that
+     * does not own @p lp (used by HookFanout's owner check to enforce
+     * the per-node threading contract). No-op off worker threads —
+     * serial phases may touch any LP freely.
+     */
+    void assertOwner(int lp) const;
+
+    /** Windows committed so far. */
+    std::uint64_t windows() const { return windows_; }
+    /** Events executed by this engine so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+    /** Exclusive upper time bound of the last window. */
+    Tick lastBound() const { return bound_; }
+
+    int threads() const { return opts_.threads; }
+
+  private:
+    friend class alewife::EventQueue;
+    friend struct alewife::detail::EventPool;
+
+    /** Extract the next window from the global queue; false if none. */
+    bool plan();
+    /** Worker body: execute this worker's walk for the open window. */
+    void runWalk(ParallelWorker &w);
+    /** Thread main for spawned workers. */
+    void workerMain(int id);
+    /** Single-threaded window commit: seq replay + queue refill. */
+    void commit();
+    /** Grab a batch of pool slots for one worker (under the mutex). */
+    void refillCache(ParallelWorker &w);
+
+    // EventQueue reroutes (called via friend from event_queue.cc).
+    EventHandle workerSchedule(Tick when, std::uint32_t idx,
+                               std::uint64_t gen);
+    std::uint32_t workerAllocate(Tick when);
+    void workerRelease(std::uint32_t idx);
+    Tick workerNow() const;
+
+    EventQueue &eq_;
+    ParallelOptions opts_;
+    std::unique_ptr<ParallelShared> sh_;
+    std::vector<std::thread> pool_;
+    Tick bound_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t eventsRun_ = 0;
+    bool attached_ = false;
+};
+
+} // namespace alewife::sim
+
+#endif // ALEWIFE_SIM_PARALLEL_HH

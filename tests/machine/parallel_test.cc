@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Parallel window engine: bit-identity goldens against the serial
+ * kernel. The engine's whole contract is that `threads` is invisible
+ * in the results — every statistic, checksum, event count and timing
+ * of a parallel run must equal the serial run exactly, across apps,
+ * mechanisms, worker counts, cross-traffic and schedule perturbation.
+ * The suite also pins the eligibility fallbacks (traced runs and
+ * non-parallel-capable hooks silently use the serial kernel).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "apps/em3d.hh"
+#include "apps/graph/catalog.hh"
+#include "apps/iccg.hh"
+#include "ckpt/ckpt.hh"
+#include "ckpt/restore.hh"
+#include "core/runner.hh"
+#include "sim/trace.hh"
+
+namespace alewife {
+namespace {
+
+using core::Mechanism;
+using core::RunResult;
+using core::RunSpec;
+
+/** Every field of two RunResults must agree exactly (bit-identity). */
+void
+expectIdentical(const RunResult &serial, const RunResult &par,
+                const std::string &what)
+{
+    EXPECT_EQ(serial.runtimeCycles, par.runtimeCycles) << what;
+    EXPECT_EQ(serial.checksum, par.checksum) << what;
+    EXPECT_EQ(serial.simEvents, par.simEvents) << what;
+    EXPECT_EQ(serial.volume.total(), par.volume.total()) << what;
+    for (const CounterField &f : machineCounterFields()) {
+        EXPECT_EQ(serial.counters.*(f.member), par.counters.*(f.member))
+            << what << " counter " << f.name;
+    }
+    for (std::size_t i = 0; i < serial.breakdown.ticks.size(); ++i) {
+        EXPECT_EQ(serial.breakdown.ticks[i], par.breakdown.ticks[i])
+            << what << " breakdown[" << i << "]";
+    }
+}
+
+RunResult
+runEm3d(Mechanism mech, int threads, double cross = 0.0,
+        bool perturb = false)
+{
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    apps::Em3d app(p);
+    RunSpec spec;
+    spec.mechanism = mech;
+    spec.threads = threads;
+    spec.crossTraffic.bytesPerCycle = cross;
+    if (perturb) {
+        spec.perturb.tieBreak = true;
+        spec.perturb.seed = 12345;
+    }
+    return core::runApp(app, spec);
+}
+
+RunResult
+runIccg(Mechanism mech, int threads)
+{
+    apps::Iccg::Params p;
+    p.matrix.rows = 600;
+    apps::Iccg app(p);
+    RunSpec spec;
+    spec.mechanism = mech;
+    spec.threads = threads;
+    return core::runApp(app, spec);
+}
+
+RunResult
+runBfs(Mechanism mech, int threads)
+{
+    apps::graph::GraphAppParams p;
+    p.graph.family = workload::GraphFamily::Uniform;
+    p.graph.vertices = 600;
+    p.graph.avgDegree = 5;
+    p.graph.nprocs = 32;
+    p.graph.seed = 11;
+    p.iters = 2;
+    for (const auto &e : apps::graph::catalog()) {
+        if (std::string(e.name) == "bfs") {
+            auto app = e.make(p)();
+            RunSpec spec;
+            spec.mechanism = mech;
+            spec.threads = threads;
+            return core::runApp(*app, spec);
+        }
+    }
+    ADD_FAILURE() << "no bfs app in the graph catalog";
+    return {};
+}
+
+class ParallelIdentity : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(ParallelIdentity, Em3dBitIdenticalAt2And4Workers)
+{
+    const RunResult serial = runEm3d(GetParam(), 1);
+    EXPECT_EQ(serial.parallelWindows, 0u);
+    for (int threads : {2, 4}) {
+        const RunResult par = runEm3d(GetParam(), threads);
+        EXPECT_GT(par.parallelWindows, 0u)
+            << "engine did not engage at threads=" << threads;
+        expectIdentical(serial, par,
+                        "em3d threads=" + std::to_string(threads));
+    }
+}
+
+TEST_P(ParallelIdentity, IccgBitIdenticalAt4Workers)
+{
+    const RunResult serial = runIccg(GetParam(), 1);
+    const RunResult par = runIccg(GetParam(), 4);
+    EXPECT_GT(par.parallelWindows, 0u);
+    expectIdentical(serial, par, "iccg threads=4");
+}
+
+TEST_P(ParallelIdentity, GraphBfsBitIdenticalAt4Workers)
+{
+    const RunResult serial = runBfs(GetParam(), 1);
+    const RunResult par = runBfs(GetParam(), 4);
+    EXPECT_GT(par.parallelWindows, 0u);
+    expectIdentical(serial, par, "bfs threads=4");
+    EXPECT_TRUE(par.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, ParallelIdentity,
+    ::testing::Values(Mechanism::SharedMemory, Mechanism::MpInterrupt),
+    [](const auto &info) {
+        return info.param == Mechanism::SharedMemory
+                   ? std::string("SM")
+                   : std::string("MPI");
+    });
+
+TEST(ParallelEngine, CrossTrafficRunBitIdentical)
+{
+    // Exercises the cross-traffic LP and the serial-order stop cutoff
+    // (ticks must go quiet at exactly the serial completion point).
+    const RunResult serial = runEm3d(Mechanism::SharedMemory, 1, 10.0);
+    const RunResult par = runEm3d(Mechanism::SharedMemory, 4, 10.0);
+    EXPECT_GT(par.parallelWindows, 0u);
+    expectIdentical(serial, par, "em3d cross-traffic");
+}
+
+TEST(ParallelEngine, PerturbedSeedRunBitIdentical)
+{
+    // Tie-break perturbation forces the gated-live path: RNG draws and
+    // seq assignment happen serialized, in exact serial order.
+    const RunResult serial =
+        runEm3d(Mechanism::MpInterrupt, 1, 0.0, true);
+    const RunResult par = runEm3d(Mechanism::MpInterrupt, 4, 0.0, true);
+    EXPECT_GT(par.parallelWindows, 0u);
+    expectIdentical(serial, par, "em3d perturbed");
+}
+
+TEST(ParallelEngine, PerturbedRunDiffersFromUnperturbed)
+{
+    // Sanity that the perturbed goldens above actually exercise a
+    // different schedule (otherwise gated-live is untested).
+    const RunResult plain = runEm3d(Mechanism::MpInterrupt, 1);
+    const RunResult fuzzed =
+        runEm3d(Mechanism::MpInterrupt, 1, 0.0, true);
+    EXPECT_NE(plain.simEvents + plain.runtimeCycles,
+              fuzzed.simEvents + fuzzed.runtimeCycles);
+}
+
+TEST(ParallelEngine, TracedRunFallsBackToSerial)
+{
+    Trace::enable(TraceCat::Obs, true);
+    const RunResult r = runEm3d(Mechanism::SharedMemory, 4);
+    Trace::enable(TraceCat::Obs, false);
+    EXPECT_EQ(r.parallelWindows, 0u);
+    expectIdentical(runEm3d(Mechanism::SharedMemory, 1), r,
+                    "traced fallback");
+}
+
+TEST(ParallelEngine, NonCapableHooksFallBackToSerial)
+{
+    // The invariant auditor does not declare parallelCapable(), so an
+    // audited run must silently use the serial kernel — and still
+    // agree with the unaudited runs bit-for-bit.
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    apps::Em3d app(p);
+    RunSpec spec;
+    spec.mechanism = Mechanism::SharedMemory;
+    spec.threads = 4;
+    spec.audit = true;
+    const RunResult r = core::runApp(app, spec);
+    EXPECT_EQ(r.parallelWindows, 0u);
+    expectIdentical(runEm3d(Mechanism::SharedMemory, 1), r,
+                    "audited fallback");
+}
+
+TEST(ParallelEngine, SingleThreadSpecNeverEngages)
+{
+    const RunResult r = runEm3d(Mechanism::SharedMemory, 1);
+    EXPECT_EQ(r.parallelWindows, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint interop. The snapshot is a full-state capture (caches,
+// directories, NI queues, RNG streams, counters), so comparing dumps
+// audits far more machine state than RunResult can.
+// ---------------------------------------------------------------------
+
+/** Runs to completion, then captures the finished machine. */
+struct SaveAfterRun : core::RunDriver
+{
+    std::optional<ckpt::Snapshot> snap;
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        const Tick t = m.run(f);
+        snap = ckpt::save(m);
+        return t;
+    }
+};
+
+/** Serial run that snapshots at an event count, like periodic saves. */
+struct SaveMidRun : core::RunDriver
+{
+    std::uint64_t at;
+    std::optional<ckpt::Snapshot> snap;
+
+    explicit SaveMidRun(std::uint64_t at_) : at(at_) {}
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        m.start(f);
+        if (m.stepUntilEvents(at))
+            snap = ckpt::save(m);
+        while (m.stepOne()) {
+        }
+        return m.finishRun();
+    }
+};
+
+/** Resumes from a snapshot and completes the run serially. */
+struct ResumeDriver : core::RunDriver
+{
+    const ckpt::Snapshot &snap;
+
+    explicit ResumeDriver(const ckpt::Snapshot &s) : snap(s) {}
+
+    Tick
+    drive(Machine &m, const Machine::ProgramFactory &f) override
+    {
+        const ckpt::ResumeResult r = ckpt::resume(m, f, snap);
+        EXPECT_TRUE(r.ok) << r.error;
+        while (m.stepOne()) {
+        }
+        return m.finishRun();
+    }
+};
+
+TEST(ParallelCkpt, CaptureAfterParallelRunMatchesSerial)
+{
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    const auto factory = apps::Em3d::factory(p);
+
+    RunSpec spec;
+    spec.mechanism = Mechanism::SharedMemory;
+    SaveAfterRun serial;
+    core::runApp(factory, spec, true, nullptr, &serial);
+
+    spec.threads = 4;
+    SaveAfterRun par;
+    core::runApp(factory, spec, true, nullptr, &par);
+
+    ASSERT_TRUE(serial.snap && par.snap);
+    EXPECT_EQ(serial.snap->doc.dump(), par.snap->doc.dump());
+}
+
+TEST(ParallelCkpt, ResumedRunMatchesStraightParallelRun)
+{
+    // A snapshot taken mid-serial-run, resumed and completed serially,
+    // must agree bit-for-bit with a straight 4-worker run — checkpoint
+    // goldens stay valid when the baseline comes from the parallel
+    // engine.
+    apps::Em3d::Params p;
+    p.graph.nodesPerSide = 320;
+    p.graph.degree = 5;
+    p.iters = 2;
+    const auto factory = apps::Em3d::factory(p);
+
+    RunSpec spec;
+    spec.mechanism = Mechanism::MpInterrupt;
+    const RunResult probe = core::runApp(factory, spec);
+
+    SaveMidRun saver(probe.simEvents / 2);
+    core::runApp(factory, spec, true, nullptr, &saver);
+    ASSERT_TRUE(saver.snap.has_value());
+
+    ResumeDriver resumer(*saver.snap);
+    const RunResult resumed =
+        core::runApp(factory, spec, true, nullptr, &resumer);
+
+    spec.threads = 4;
+    const RunResult par = core::runApp(factory, spec);
+    EXPECT_GT(par.parallelWindows, 0u);
+    expectIdentical(resumed, par, "resume vs parallel");
+}
+
+} // namespace
+} // namespace alewife
