@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Throughput of the farm work-queue protocol (src/exp/queue.hh): how
+ * many enqueue -> claim -> complete round trips per second the
+ * filesystem rename-based state machine sustains, plus the cost of a
+ * reap pass over a fully leased queue. The protocol's overhead bounds
+ * the granularity at which distributing a sweep pays off: a job worth
+ * farming must simulate for much longer than one protocol round trip.
+ *
+ *   farm_queue_bench [--jobs N] [--dir D]
+ *
+ * Defaults: 200 jobs under a scratch directory in $TMPDIR. This is a
+ * plain wall-clock bench; run it from a Release build for meaningful
+ * numbers (any build type is fine for smoke).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "exp/queue.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alewife;
+    namespace fs = std::filesystem;
+    using clk = std::chrono::steady_clock;
+
+    int jobs = 200;
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc)
+            dir = argv[++i];
+    }
+    if (jobs < 1)
+        jobs = 1;
+    if (dir.empty())
+        dir = (fs::temp_directory_path()
+               / ("alewife-farm-bench-" + std::to_string(::getpid())))
+                  .string();
+    fs::remove_all(dir);
+
+    exp::FarmTuning tuning;
+    exp::WorkQueue q(dir, "bench", tuning);
+    if (!q.initDirs()) {
+        std::cerr << "cannot create queue under " << dir << "\n";
+        return 1;
+    }
+
+    exp::FarmWorkload w;
+    w.app = "stream";
+    auto secondsSince = [](clk::time_point t0) {
+        return std::chrono::duration<double>(clk::now() - t0).count();
+    };
+
+    std::cout << "farm queue protocol throughput (" << jobs
+              << " jobs under " << dir << ")\n\n";
+
+    auto t0 = clk::now();
+    for (int i = 0; i < jobs; ++i) {
+        exp::FarmJob job;
+        job.id = i;
+        job.workload = w;
+        job.appKey = w.appKey();
+        job.spec.mechanism = core::Mechanism::SharedMemory;
+        if (!q.enqueue(job)) {
+            std::cerr << "enqueue failed at job " << i << "\n";
+            return 1;
+        }
+    }
+    const double enqueueSec = secondsSince(t0);
+
+    t0 = clk::now();
+    int completed = 0;
+    while (auto job = q.claim(exp::farmNowMs())) {
+        q.complete(*job, exp::farmNowMs());
+        ++completed;
+    }
+    const double drainSec = secondsSince(t0);
+    if (completed != jobs) {
+        std::cerr << "drained " << completed << " of " << jobs
+                  << " jobs\n";
+        return 1;
+    }
+
+    // Reap cost over a fully leased queue (every lease fresh: the
+    // pass inspects all of them and reclaims none).
+    for (int i = 0; i < jobs; ++i) {
+        exp::FarmJob job;
+        job.id = i;
+        job.workload = w;
+        job.appKey = w.appKey();
+        job.spec.mechanism = core::Mechanism::SharedMemory;
+        q.enqueue(job);
+    }
+    const std::int64_t now = exp::farmNowMs();
+    while (q.claim(now))
+        ;
+    t0 = clk::now();
+    const exp::ReapStats stats = q.reapExpired(now);
+    const double reapSec = secondsSince(t0);
+
+    std::cout << "enqueue:    " << jobs / enqueueSec << " jobs/s\n"
+              << "claim+done: " << jobs / drainSec << " jobs/s\n"
+              << "reap pass:  " << reapSec * 1e3 << " ms over " << jobs
+              << " live leases (" << stats.reclaims << " reclaimed)\n";
+
+    fs::remove_all(dir);
+    return 0;
+}

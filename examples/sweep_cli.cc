@@ -40,14 +40,10 @@
 #include <string>
 #include <vector>
 
-#include "apps/em3d.hh"
 #include "apps/graph/catalog.hh"
-#include "apps/iccg.hh"
-#include "apps/moldyn.hh"
-#include "apps/stream.hh"
-#include "apps/unstruc.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
+#include "exp/farm.hh"
 #include "exp/result_cache.hh"
 #include "exp/serialize.hh"
 #include "exp/warm_start.hh"
@@ -73,6 +69,7 @@ struct Options
     std::string ckptDir;      ///< crash tolerance: periodic snapshots
     double ckptInterval = 2'000'000.0; ///< snapshot period (sim cycles)
     std::uint64_t warmStart = 0; ///< warm-start fork point (sim events)
+    std::string farmDir; ///< distributed farm campaign directory
 };
 
 std::vector<std::string>
@@ -120,7 +117,13 @@ usage()
            "                                        resume killed jobs "
            "from the last one)\n"
            "                 [--ckpt-interval cyc] (snapshot period, "
-           "default 2000000)\n"
+           "default 2000000;\n"
+           "                                        0 disables periodic "
+           "snapshots)\n"
+           "                 [--farm-dir dir]      (share the batch "
+           "with farm_cli\n"
+           "                                        workers through a "
+           "work queue under dir)\n"
            "                 [--warm-start events] (ideal-latency only: "
            "fork every\n"
            "                                        latency variant "
@@ -220,9 +223,11 @@ parse(int argc, char **argv)
         } else if (a == "--ckpt-interval") {
             const std::string v = next();
             o.ckptInterval = parseNum("--ckpt-interval", v);
-            if (o.ckptInterval <= 0)
+            if (o.ckptInterval < 0)
                 badValue("--ckpt-interval value", v,
-                         "a positive cycle count");
+                         "a cycle count (0 disables snapshots)");
+        } else if (a == "--farm-dir") {
+            o.farmDir = next();
         } else if (a == "--warm-start") {
             const std::string v = next();
             const double events = parseNum("--warm-start", v);
@@ -303,50 +308,39 @@ warmIdealLatencySweep(const core::AppFactory &factory,
     return out;
 }
 
+/** Build the workload through the same factory the farm workers use,
+ *  so a farmed batch is parameterized byte-for-byte like a local one. */
 core::AppFactory
-makeFactory(const Options &o)
+makeFactory(const exp::FarmWorkload &w)
 {
-    const double s = o.scale;
-    if (o.app == "em3d") {
-        apps::Em3d::Params p;
-        p.graph.nodesPerSide = static_cast<int>(1024 * s);
-        p.graph.degree = 8;
-        p.iters = 2;
-        return apps::Em3d::factory(p);
+    std::string err;
+    auto factory = exp::makeWorkloadFactory(w, &err);
+    if (!factory) {
+        if (!apps::graph::findApp(w.app) && w.app != "em3d"
+            && w.app != "unstruc" && w.app != "iccg"
+            && w.app != "moldyn" && w.app != "stream")
+            badValue("--app", w.app, kValidApps);
+        std::cerr << "sweep_cli: " << err << "\n\n";
+        usage();
     }
-    if (o.app == "unstruc") {
-        apps::Unstruc::Params p;
-        p.mesh.nodes = static_cast<int>(1200 * s);
-        p.iters = 2;
-        return apps::Unstruc::factory(p);
-    }
-    if (o.app == "iccg") {
-        apps::Iccg::Params p;
-        p.matrix.rows = static_cast<int>(1200 * s);
-        return apps::Iccg::factory(p);
-    }
-    if (o.app == "moldyn") {
-        apps::Moldyn::Params p;
-        p.box.molecules = static_cast<int>(768 * s);
-        p.iters = 2;
-        return apps::Moldyn::factory(p);
-    }
-    if (o.app == "stream") {
-        apps::Stream::Params p;
-        p.valuesPerIter = static_cast<int>(64 * s);
-        p.iters = 4;
-        return apps::Stream::factory(p);
-    }
-    if (apps::graph::findApp(o.app)) {
-        apps::graph::GraphAppParams p;
-        p.graph.family = workload::graphFamilyFromName(o.graph);
-        p.graph.vertices = static_cast<int>(1024 * s);
-        p.graph.avgDegree = 8;
-        p.graph.nprocs = 32;
-        p.iters = 3;
-        return apps::graph::makeApp(o.app, p);
-    }
-    badValue("--app", o.app, kValidApps);
+    return factory;
+}
+
+/** After a farmed batch: report any jobs the farm gave up on and turn
+ *  them into a non-zero exit so scripts notice the partial result. */
+int
+quarantineExit(const exp::FarmReport &r)
+{
+    if (r.quarantined.empty())
+        return 0;
+    std::cerr << "sweep_cli: " << r.quarantined.size()
+              << " job(s) quarantined after exhausting retries "
+                 "(results above are partial):\n";
+    for (const auto &q : r.quarantined)
+        std::cerr << "  job " << q.id << " [" << q.mechanism << "] "
+                  << q.appKey << ", " << q.attempts
+                  << " attempts: " << q.error << "\n";
+    return 3;
 }
 
 void
@@ -373,7 +367,8 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
-    const auto factory = makeFactory(o);
+    const exp::FarmWorkload workload{o.app, o.graph, o.scale};
+    const auto factory = makeFactory(workload);
     const MachineConfig base;
 
     exp::ResultCache cache(o.cacheDir);
@@ -384,16 +379,14 @@ main(int argc, char **argv)
     // Workload identity for the cache: app name + everything that
     // changes the generated workload (scale, and the graph family
     // for the graph-analytics apps).
-    {
-        std::ostringstream key;
-        key << o.app << "/scale=" << o.scale;
-        if (apps::graph::findApp(o.app))
-            key << "/graph=" << o.graph;
-        opts.appKey = key.str();
-    }
+    opts.appKey = workload.appKey();
     opts.obs = o.obs;
     opts.ckptDir = o.ckptDir;
     opts.ckptIntervalCycles = o.ckptInterval;
+    opts.farmDir = o.farmDir;
+    opts.workload = workload;
+    exp::FarmReport farmReport;
+    opts.farmReport = &farmReport;
     if (o.warmStart > 0 && o.sweep != "ideal-latency") {
         std::cerr << "sweep_cli: --warm-start only applies to "
                      "--sweep ideal-latency (the emulated latency is "
@@ -421,7 +414,7 @@ main(int argc, char **argv)
                                 exp::writeBatchCsv(os, results);
                             });
         }
-        return 0;
+        return quarantineExit(farmReport);
     }
 
     std::vector<core::MechSeries> series;
@@ -474,5 +467,5 @@ main(int argc, char **argv)
                 exp::writeSeriesCsv(os, xlabel, series);
             });
     }
-    return 0;
+    return quarantineExit(farmReport);
 }

@@ -9,6 +9,10 @@
 #   5. observability smoke: tiny EM3D sweep with trace + metrics out
 #   6. checkpoint smokes: warm-start sweep equals cold sweep, and a
 #      kill -9 mid-run resumes from the last periodic snapshot
+#   7. farm smokes: a multi-process campaign with one worker dying
+#      kill -9-style after its first claim and one with a stalled
+#      heartbeat still yields the full, bit-identical result set with
+#      the reclaimed lease visible in the status JSON
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer builds (tier-1 + fuzz corpus only)
@@ -45,6 +49,12 @@ if [[ "$FAST" -eq 0 ]]; then
     # read in that path fails here by name.
     step "ASan/UBSan: graph label (workload family + differential)"
     ctest --test-dir build-asan -j "$JOBS" --output-on-failure -L graph
+
+    # The farm's recovery paths (lease reaping, retry/poison, cache
+    # quarantine, kill-after-claim death test) move files while worker
+    # threads run; prove them leak- and UB-free by name.
+    step "ASan/UBSan: farm label (queue protocol + fault recovery)"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure -L farm
 
     step "TSan: build + parallel-engine and kernel-pool suites"
     cmake -B build-tsan -S . -DALEWIFE_SANITIZE=thread >/dev/null
@@ -124,6 +134,65 @@ rm -rf "$GRAPH_CKPT"
 ./build/examples/sweep_cli --app bfs --graph rmat --mechs SM,MP-P \
     --sweep none | grep -q "yes" \
     || { echo "graph smoke: sweep_cli bfs did not verify"; exit 1; }
+
+step "farm smoke: coordinator + faulty workers, bit-identical results"
+FARM_ROOT="$(mktemp -d)"
+FARM_DIR="$FARM_ROOT/farm"
+./build/examples/sweep_cli --app stream --mechs SM,MP-I,MP-P \
+    --sweep bisection --points 18,9 --out "$FARM_ROOT/local.json" \
+    >/dev/null
+./build/examples/farm_cli coordinator --farm-dir "$FARM_DIR" \
+    --app stream --mechs SM,MP-I,MP-P --sweep bisection \
+    --points 18,9 --workers 0 --lease-ttl-ms 500 --heartbeat-ms 100 \
+    --poll-ms 50 --backoff-ms 50 --out "$FARM_ROOT/farmed.json" \
+    >/dev/null 2>&1 &
+COORD_PID=$!
+for _ in $(seq 1 100); do
+    [[ -f "$FARM_DIR/farm.json" ]] && break
+    sleep 0.1
+done
+[[ -f "$FARM_DIR/farm.json" ]] \
+    || { echo "farm smoke: coordinator wrote no manifest"; exit 1; }
+# Worker 1 dies kill -9-style (exit 9, lease held, no cleanup) right
+# after its first claim; the coordinator must reap the stale lease and
+# re-queue that job — the run-to-completion assertion below implies it.
+set +e
+FARM_FAULT=kill-after-claim ./build/examples/farm_cli worker \
+    --farm-dir "$FARM_DIR" >/dev/null 2>&1
+KILLED_RC=$?
+set -e
+[[ "$KILLED_RC" -eq 9 ]] \
+    || { echo "farm smoke: kill-after-claim worker exited $KILLED_RC"; \
+         exit 1; }
+# Worker 2 works but never renews its lease; worker 3 is healthy. The
+# campaign must produce the full result set regardless.
+FARM_FAULT=stall-heartbeat ./build/examples/farm_cli worker \
+    --farm-dir "$FARM_DIR" >/dev/null 2>&1 &
+STALL_PID=$!
+./build/examples/farm_cli worker --farm-dir "$FARM_DIR" \
+    >/dev/null 2>&1
+wait "$COORD_PID" \
+    || { echo "farm smoke: coordinator exited non-zero"; exit 1; }
+wait "$STALL_PID" 2>/dev/null || true
+# Full result set, bit-identical to the single-process sweep.
+diff "$FARM_ROOT/local.json" "$FARM_ROOT/farmed.json" \
+    || { echo "farm smoke: farmed sweep diverged from local run"; \
+         exit 1; }
+# The killed worker's lease shows up as a reclaim in the status JSON.
+grep -Eq '"reclaims": [1-9]' "$FARM_DIR/status.json" \
+    || { echo "farm smoke: no reclaimed lease in status JSON"; exit 1; }
+./build/examples/farm_cli status --farm-dir "$FARM_DIR" \
+    | grep -q '"alewife-farm-status"' \
+    || { echo "farm smoke: status subcommand failed"; exit 1; }
+rm -rf "$FARM_ROOT"
+
+step "farm smoke: sweep_cli --farm-dir shares its batch"
+FARM2="$(mktemp -d)"
+./build/examples/sweep_cli --app stream --mechs SM,MP-P --sweep none \
+    --farm-dir "$FARM2/farm" --jobs 2 | grep -q "yes" \
+    || { echo "farm smoke: sweep_cli --farm-dir did not verify"; \
+         exit 1; }
+rm -rf "$FARM2"
 
 step "observability smoke: EM3D with trace + metrics"
 OBS_DIR="$(mktemp -d)"

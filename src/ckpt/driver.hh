@@ -23,11 +23,24 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ckpt/restore.hh"
 #include "core/runner.hh"
 
 namespace alewife::ckpt {
+
+/**
+ * Delete per-job snapshot files ("<hash>-latest.ckpt.json") in @p dir
+ * whose file name is not in @p keepFiles, and return how many were
+ * removed. Crash-looping campaigns re-key their jobs every restart
+ * only when the batch changes; snapshots whose job no longer exists
+ * would otherwise leak disk forever. Only snapshot-shaped names are
+ * touched. Missing @p dir is a no-op.
+ */
+std::uint64_t
+cleanOrphanSnapshots(const std::string &dir,
+                     const std::vector<std::string> &keepFiles);
 
 /**
  * Periodic-snapshot + resume-from-file driver.

@@ -63,14 +63,21 @@ Snapshot::sectionDigest(const std::string &section) const
     return parseHexU64(doc.at("digests").at(section).asString());
 }
 
-void
-saveFile(const Snapshot &s, const std::string &path)
+bool
+trySaveFile(const Snapshot &s, const std::string &path,
+            std::string *err)
 {
     namespace fs = std::filesystem;
     const fs::path p(path);
     std::error_code ec;
     if (p.has_parent_path())
         fs::create_directories(p.parent_path(), ec);
+
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
 
     // Write-temp-then-rename so a crashed or killed writer never leaves
     // a torn snapshot where a resuming sweep worker would look for one.
@@ -80,18 +87,29 @@ saveFile(const Snapshot &s, const std::string &path)
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
-            ALEWIFE_FATAL("ckpt: cannot write '", tmp, "'");
+            return fail("ckpt: cannot write '" + tmp + "'");
         out << s.doc.dump(1) << '\n';
         out.flush();
-        if (!out)
-            ALEWIFE_FATAL("ckpt: short write to '", tmp, "'");
+        if (!out) {
+            fs::remove(tmp, ec);
+            return fail("ckpt: short write to '" + tmp + "'");
+        }
     }
     fs::rename(tmp, p, ec);
     if (ec) {
         fs::remove(tmp, ec);
-        ALEWIFE_FATAL("ckpt: cannot rename snapshot into '", path,
-                      "'");
+        return fail("ckpt: cannot rename snapshot into '" + path
+                    + "'");
     }
+    return true;
+}
+
+void
+saveFile(const Snapshot &s, const std::string &path)
+{
+    std::string err;
+    if (!trySaveFile(s, path, &err))
+        ALEWIFE_FATAL(err);
 }
 
 std::optional<Snapshot>

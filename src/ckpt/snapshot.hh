@@ -86,6 +86,14 @@ struct Snapshot
 void saveFile(const Snapshot &s, const std::string &path);
 
 /**
+ * saveFile that reports IO failure (false + @p err) instead of
+ * aborting, for callers where snapshots are an optimization a full
+ * disk or unwritable directory must not turn into a failed run.
+ */
+bool trySaveFile(const Snapshot &s, const std::string &path,
+                 std::string *err = nullptr);
+
+/**
  * Read a snapshot. Returns nullopt (and sets @p err) on missing file,
  * parse failure, wrong schema tag, or version mismatch.
  */

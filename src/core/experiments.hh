@@ -20,6 +20,8 @@
 #define ALEWIFE_CORE_EXPERIMENTS_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/runner.hh"
@@ -40,6 +42,68 @@ struct MechSeries
     Mechanism mech = Mechanism::SharedMemory;
     std::vector<SweepPoint> points;
 };
+
+/** The parametric sweeps, by name (sweepKindFromName). */
+enum class SweepKind
+{
+    None,         ///< every mechanism once at the base machine
+    Bisection,    ///< Figure 8: effective bisection via cross traffic
+    MsgLen,       ///< Figure 7: cross-traffic message length
+    Clock,        ///< Figure 9: processor clock vs fixed network
+    IdealLatency, ///< Figure 10: ideal uniform-latency network
+};
+
+/** Parse "none|bisection|msglen|clock|ideal-latency"; nullopt on
+ *  unknown names (callers report their own errors). */
+std::optional<SweepKind> sweepKindFromName(const std::string &s);
+
+/** What to sweep: everything needed to materialize the spec list. */
+struct SweepRequest
+{
+    SweepKind kind = SweepKind::None;
+    std::vector<Mechanism> mechs;
+    /**
+     * The swept points; meaning depends on kind: effective bisection
+     * bytes/cycle (Bisection), cross-message bytes (MsgLen), processor
+     * MHz (Clock), emulated one-way latency cycles (IdealLatency).
+     * Ignored for None.
+     */
+    std::vector<double> points;
+    /** Cross-traffic message bytes (Bisection only). */
+    std::uint32_t crossMsgBytes = 64;
+    /** Injected cross-traffic volume (MsgLen only). */
+    double crossBytesPerCycle = 0.0;
+};
+
+/**
+ * A materialized sweep: the flat spec list in canonical submission
+ * order plus the shape needed to fold flat results back into series.
+ * Everyone who executes a sweep — the wrappers below, sweep_cli, and
+ * farm_cli workers on other hosts — goes through the same plan, which
+ * is what makes distributed results bit-identical (job index for job
+ * index) to a local run.
+ */
+struct SweepPlan
+{
+    SweepKind kind = SweepKind::None;
+    std::vector<Mechanism> mechs;
+    /** One SweepEngine job per entry, canonical submission order. */
+    std::vector<RunSpec> specs;
+    /** x-axis value for (mechanism i, point j). */
+    std::vector<std::vector<double>> xs;
+    /** specs index backing (mechanism i, point j) — several points
+     *  may share one spec (flat-replicated message-passing curves). */
+    std::vector<std::vector<std::size_t>> specIndex;
+};
+
+/** Materialize @p req against @p base. Fatal on unsatisfiable
+ *  requests (e.g. a bisection target above native). */
+SweepPlan planSweep(const MachineConfig &base, const SweepRequest &req);
+
+/** Fold flat submission-ordered @p results back into series. */
+std::vector<MechSeries>
+seriesFromPlan(const SweepPlan &plan,
+               const std::vector<RunResult> &results);
 
 /** Run every mechanism once at the base machine (Figures 4 and 5). */
 std::vector<RunResult>

@@ -99,29 +99,67 @@ ResultCache::filePath(const std::string &key) const
     return dir_ + "/" + name;
 }
 
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    if (dir_.empty() || key.empty())
+        return "";
+    return filePath(key);
+}
+
+void
+ResultCache::quarantineBadEntry(const std::string &path,
+                                const std::string &why)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++quarantined_;
+        if (!warnedBad_.insert(path).second)
+            return; // already reported this path
+    }
+    ALEWIFE_WARN("result cache: corrupt entry ", path, " (", why,
+                 "); quarantined to ", path, ".bad — the result will "
+                 "be recomputed");
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".bad", ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+}
+
 std::optional<core::RunResult>
 ResultCache::loadFromDisk(const std::string &key)
 {
-    std::ifstream in(filePath(key));
+    const std::string path = filePath(key);
+    std::ifstream in(path);
     if (!in)
         return std::nullopt;
     std::ostringstream buf;
     buf << in.rdbuf();
 
+    // A corrupted or truncated entry (torn disk, faulty worker) is
+    // quarantined — renamed to *.bad and reported once — so the sweep
+    // recomputes the result instead of failing on it.
     std::string err;
     const Json j = Json::parse(buf.str(), &err);
     if (!err.empty() || !j.isObject()) {
-        ALEWIFE_WARN("result cache: unreadable entry ", filePath(key),
-                     err.empty() ? "" : (": " + err));
+        quarantineBadEntry(path,
+                           err.empty() ? "not a JSON object" : err);
         return std::nullopt;
     }
-    // Stale schema or (astronomically unlikely) hash collision: miss.
     const Json *schema = j.find("schema");
     const Json *version = j.find("version");
     const Json *stored = j.find("key");
-    if (!schema || schema->asString() != "alewife-results" || !version
+    if (!schema || !schema->isString() || !version
+        || !version->isNumber() || !stored || !stored->isString()
+        || !j.find("result")) {
+        quarantineBadEntry(path, "cache-entry fields missing");
+        return std::nullopt;
+    }
+    // Stale schema or (astronomically unlikely) hash collision: a
+    // well-formed entry that simply isn't ours — a miss, not corruption.
+    if (schema->asString() != "alewife-results"
         || static_cast<int>(version->asDouble()) != kResultSchemaVersion
-        || !stored || stored->asString() != key) {
+        || stored->asString() != key) {
         return std::nullopt;
     }
     return resultFromJson(j.at("result"));
@@ -177,6 +215,13 @@ ResultCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
+}
+
+std::uint64_t
+ResultCache::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantined_;
 }
 
 std::size_t

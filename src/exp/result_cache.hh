@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/runner.hh"
 
@@ -54,9 +55,14 @@ class ResultCache
 
     const std::string &dir() const { return dir_; }
 
+    /** On-disk file a key persists to ("" when memory-only). */
+    std::string entryPath(const std::string &key) const;
+
     /** Statistics since construction. */
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    /** Corrupt disk entries quarantined to *.bad (see loadFromDisk). */
+    std::uint64_t quarantined() const;
     /** Entries resident in memory. */
     std::size_t size() const;
 
@@ -64,12 +70,18 @@ class ResultCache
     std::string filePath(const std::string &key) const;
     std::optional<core::RunResult> loadFromDisk(const std::string &key);
     void persist(const std::string &key, const core::RunResult &r);
+    /** Move a corrupt entry aside (-> *.bad) so it gets recomputed;
+     *  warns once per path. */
+    void quarantineBadEntry(const std::string &path,
+                            const std::string &why);
 
     std::string dir_;
     mutable std::mutex mu_;
     std::unordered_map<std::string, core::RunResult> mem_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t quarantined_ = 0;
+    std::unordered_set<std::string> warnedBad_;
 };
 
 } // namespace alewife::exp

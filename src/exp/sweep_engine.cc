@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "ckpt/driver.hh"
+#include "exp/farm.hh"
 #include "exp/json.hh"
 #include "exp/result_cache.hh"
 #include "sim/logging.hh"
@@ -82,6 +83,87 @@ SweepEngine::run(const std::vector<Job> &jobs)
         todo.push_back(i);
     }
 
+    // Distributed path: hand the uncached remainder to a farm
+    // campaign when one is configured and the batch is serializable.
+    if (!opts_.farmDir.empty() && !todo.empty()) {
+        std::string why;
+        if (opts_.audit)
+            why = "audited batches must simulate in-process";
+        else if (opts_.obs.any())
+            why = "observed batches write per-run files in-process";
+        else if (opts_.workload.empty())
+            why = "no serializable workload identity "
+                  "(EngineOptions::workload)";
+        else {
+            for (int i : todo) {
+                if (ResultCache::key(jobs[i].spec, jobs[i].appKey)
+                        .empty()) {
+                    why = "job " + std::to_string(i)
+                          + " is uncacheable (empty app key or "
+                            "perturbed spec) so workers cannot "
+                            "return its result";
+                    break;
+                }
+            }
+        }
+        if (!why.empty()) {
+            ALEWIFE_WARN("sweep: farm-dir ignored: ", why,
+                         "; running in-process");
+        } else {
+            FarmOptions fo;
+            fo.dir = opts_.farmDir;
+            if (opts_.cache && !opts_.cache->dir().empty())
+                fo.cacheDir = opts_.cache->dir();
+            fo.ckptDir = opts_.ckptDir; // "" -> farm default
+            fo.ckptIntervalCycles = opts_.ckptIntervalCycles;
+            fo.tuning = opts_.farm;
+            fo.workers = opts_.jobs;
+            fo.threads = opts_.threads;
+            FarmCoordinator coord(std::move(fo));
+
+            std::vector<FarmJob> farmJobs;
+            farmJobs.reserve(todo.size());
+            for (int i : todo) {
+                FarmJob fj;
+                fj.id = i; // submission index: stable across restarts
+                fj.appKey = jobs[i].appKey;
+                fj.workload = opts_.workload;
+                fj.spec = jobs[i].spec;
+                farmJobs.push_back(std::move(fj));
+            }
+            const std::vector<core::RunResult> farmed =
+                coord.runCampaign(farmJobs);
+            for (std::size_t k = 0; k < todo.size(); ++k) {
+                results[todo[k]] = farmed[k];
+                ++progress_.done;
+            }
+            // Refill the in-memory cache so later batches of this
+            // process hit without re-reading the farm's disk store.
+            if (opts_.cache) {
+                for (std::size_t k = 0; k < todo.size(); ++k) {
+                    if (farmed[k].verified)
+                        opts_.cache->store(
+                            ResultCache::key(jobs[todo[k]].spec,
+                                             jobs[todo[k]].appKey),
+                            farmed[k]);
+                }
+            }
+            if (opts_.farmReport)
+                *opts_.farmReport = coord.report();
+            for (const QuarantinedJob &q :
+                 coord.report().quarantined) {
+                ALEWIFE_WARN("sweep: farm quarantined job #", q.id,
+                             " (", q.appKey, ", ", q.mechanism,
+                             ") after ", q.attempts,
+                             " attempts: ", q.error);
+            }
+            progress_.elapsedSec = secondsSince(start);
+            if (opts_.onProgress)
+                opts_.onProgress(progress_);
+            return results;
+        }
+    }
+
     // Per-run thread count, arbitrated against the host: only as many
     // jobs as remain can run at once, so arbitrate with that number.
     const int concurrent =
@@ -137,19 +219,14 @@ SweepEngine::run(const std::vector<Job> &jobs)
                     obs::withPathTag(spec.obs.flightOut, tag);
         }
         if (!opts_.ckptDir.empty()) {
-            // Stable per-job snapshot path: batch position + workload
-            // + spec identity, so a restarted process finds the same
-            // file for the same job and never another job's.
-            const std::string jobKey =
-                std::to_string(i) + "|" + job.appKey + "|" +
-                core::mechanismShortName(job.spec.mechanism) + "|" +
-                job.spec.machine.canonicalKey();
-            char hash[20];
-            std::snprintf(hash, sizeof(hash), "%016llx",
-                          static_cast<unsigned long long>(
-                              fnv1a64(jobKey)));
+            // Stable per-job snapshot path (jobSnapshotFile: batch
+            // position + workload + spec identity), shared with farm
+            // workers, so a restarted process — local or remote —
+            // finds the same file for the same job and never another
+            // job's.
             ckpt::CheckpointDriver driver(
-                {opts_.ckptDir + "/" + hash + "-latest.ckpt.json",
+                {opts_.ckptDir + "/"
+                     + jobSnapshotFile(i, job.appKey, job.spec),
                  opts_.ckptIntervalCycles, /*resume=*/true,
                  /*deleteOnSuccess=*/true});
             results[i] = core::runApp(job.app, spec, opts_.verifyFatal,

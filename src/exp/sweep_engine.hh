@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "exp/farm.hh"
 
 namespace alewife::exp {
 
@@ -123,6 +124,28 @@ struct EngineOptions
     std::string ckptDir;
     /** Snapshot interval in simulated cycles (with ckptDir). */
     double ckptIntervalCycles = 2'000'000.0;
+    /**
+     * Distributed execution: when non-empty, uncached jobs of the
+     * batch are materialized as a farm campaign under this directory
+     * (exp/farm.hh) instead of running on in-process threads — any
+     * number of external `farm_cli worker` processes can join, `jobs`
+     * in-process workers are contributed, and results come back
+     * bit-identical (same cache keys) to the local path. Batches the
+     * farm cannot serialize (audit, obs, empty workload, uncacheable
+     * jobs) fall back to in-process execution with one warning.
+     */
+    std::string farmDir;
+    /**
+     * Serializable workload identity for farm jobs; must name the
+     * same generated workload the batch's AppFactory builds (see
+     * makeWorkloadFactory). Empty = batch is not farmable.
+     */
+    FarmWorkload workload;
+    /** Queue-protocol tuning for the farm campaign. */
+    FarmTuning farm;
+    /** When non-null, receives the campaign's FarmReport (not owned;
+     *  quarantined jobs, claims/reclaims/retries counters). */
+    FarmReport *farmReport = nullptr;
 };
 
 class SweepEngine
