@@ -20,8 +20,12 @@
 #define ALEWIFE_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,8 +38,11 @@
 #include "apps/unstruc.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "exp/result_cache.hh"
+#include "obs/critpath.hh"
 #include "obs/options.hh"
+#include "obs/predict.hh"
 
 namespace alewife::bench {
 
@@ -189,6 +196,82 @@ allMechs()
 {
     const auto a = core::allMechanisms();
     return {a.begin(), a.end()};
+}
+
+/** --predict: overlay analytically predicted curves on the sweep. */
+inline bool
+parsePredict(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--predict") == 0)
+            return true;
+    return false;
+}
+
+/**
+ * Print the analytically predicted curve next to each measured series
+ * with per-point error and MAPE (src/obs/predict.hh).
+ *
+ * One instrumented run per mechanism at the sweep's base
+ * configuration captures the dependency graph; every sweep point is
+ * then an O(events) arithmetic solve instead of a full simulation, so
+ * each *additional* point costs orders of magnitude less than
+ * simulating it. @p knobs are the underlying per-point sweep values
+ * (parallel to every series' points — the raw bisection targets or
+ * clock rates, not the derived x axis) and @p targetFor maps one to a
+ * PredictTarget. @p sweepMs is the wall time the measured sweep took,
+ * for the cost line.
+ */
+inline void
+printPredictedSeries(
+    std::ostream &os, const core::AppFactory &factory,
+    const MachineConfig &base,
+    const std::vector<core::MechSeries> &measured,
+    const std::vector<double> &knobs,
+    const std::function<obs::PredictTarget(double)> &targetFor,
+    double sweepMs)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t captureEvents = 0;
+    std::uint64_t solves = 0;
+    os << "  predicted (one instrumented run per mechanism, then one "
+          "analytic solve per point):\n";
+    for (const auto &s : measured) {
+        core::RunSpec spec;
+        spec.machine = base;
+        spec.mechanism = s.mech;
+        obs::CritPathRecorder rec;
+        core::runApp(factory, spec, /*verify_fatal=*/true,
+                     /*auditor=*/nullptr, /*driver=*/nullptr, &rec);
+        obs::Predictor p(rec.graph());
+        captureEvents += p.solveEvents();
+
+        os << "    " << std::setw(6) << std::left
+           << core::mechanismShortName(s.mech) << std::right;
+        double errSum = 0.0;
+        const std::size_t n = std::min(s.points.size(), knobs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double meas = s.points[i].result.runtimeCycles;
+            const double pred =
+                p.predictRuntimeCycles(targetFor(knobs[i]));
+            const double err =
+                meas > 0 ? 100.0 * std::abs(pred - meas) / meas : 0.0;
+            errSum += err;
+            ++solves;
+            os << std::setw(11) << std::fixed << std::setprecision(0)
+               << pred << " (" << std::setprecision(1) << err << "%)";
+        }
+        os << "   MAPE " << std::setprecision(1)
+           << (n ? errSum / static_cast<double>(n) : 0.0) << "%\n";
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    os << "    prediction cost: " << measured.size() << " captures ("
+       << captureEvents << " simulated events) + " << solves
+       << " solves = " << std::setprecision(0) << ms
+       << " ms, vs " << sweepMs << " ms for the measured sweep\n";
 }
 
 /**

@@ -6,7 +6,13 @@
  * point is 18 bytes/cycle; the paper's finding is that shared-memory
  * performance degrades much faster than message passing as bisection
  * shrinks, producing a crossover.
+ *
+ * --predict additionally overlays the analytic prediction of the same
+ * curves from ONE instrumented run per mechanism (src/obs/predict.hh),
+ * with per-point error and MAPE against the measured sweep.
  */
+
+#include <chrono>
 
 #include "bench_common.hh"
 
@@ -16,6 +22,7 @@ main(int argc, char **argv)
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
     bench::BenchEngine engine(argc, argv, scale);
+    const bool predict = bench::parsePredict(argc, argv);
     const MachineConfig base;
 
     std::vector<double> bisections = {18.0, 14.0, 10.0, 7.0, 5.0, 3.5};
@@ -26,10 +33,29 @@ main(int argc, char **argv)
                  "bandwidth (bytes/cycle), 64-byte cross-traffic\n\n";
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto t0 = std::chrono::steady_clock::now();
         const auto series = core::bisectionSweep(
             factory, base, bench::allMechs(), bisections, 64,
             engine.options(name));
+        const double sweepMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         core::printSeries(std::cout, name, "bisection B/cyc", series);
+
+        if (predict) {
+            bench::printPredictedSeries(
+                std::cout, factory, base, series, bisections,
+                [&](double b) {
+                    obs::PredictTarget t;
+                    t.machine = base;
+                    t.crossBytesPerCycle =
+                        base.bisectionBytesPerCycle() - b;
+                    t.crossMessageBytes = 64;
+                    return t;
+                },
+                sweepMs);
+        }
 
         // Report the SM-vs-MP crossover, if the sweep reaches it.
         const auto &sm = series[0].points;

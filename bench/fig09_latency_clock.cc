@@ -6,8 +6,13 @@
  * generator runs 14..20 MHz; we extend the sweep upward to preview
  * faster processors). The x column is the one-way latency of a 24-byte
  * packet in processor cycles (Alewife: ~15).
+ *
+ * --predict additionally overlays the analytic prediction of the same
+ * curves from ONE instrumented run per mechanism (src/obs/predict.hh),
+ * with per-point error and MAPE against the measured sweep.
  */
 
+#include <chrono>
 #include <iomanip>
 
 #include "bench_common.hh"
@@ -18,6 +23,7 @@ main(int argc, char **argv)
     using namespace alewife;
     const auto scale = bench::parseScale(argc, argv);
     bench::BenchEngine engine(argc, argv, scale);
+    const bool predict = bench::parsePredict(argc, argv);
     const MachineConfig base;
 
     // 14..20 MHz is the hardware range; beyond emulates faster CPUs.
@@ -29,9 +35,26 @@ main(int argc, char **argv)
                  "(cycles), via clock scaling\n\n";
 
     for (const auto &[name, factory] : bench::paperApps(scale)) {
+        const auto t0 = std::chrono::steady_clock::now();
         const auto series = core::clockSweep(
             factory, base, bench::allMechs(), mhz, engine.options(name));
+        const double sweepMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         core::printSeries(std::cout, name, "net lat (cycles)", series);
+
+        if (predict) {
+            bench::printPredictedSeries(
+                std::cout, factory, base, series, mhz,
+                [&](double m) {
+                    obs::PredictTarget t;
+                    t.machine = base;
+                    t.machine.procMhz = m;
+                    return t;
+                },
+                sweepMs);
+        }
 
         // Sensitivity: slope of SM vs MP across the sweep.
         auto spread = [](const core::MechSeries &s) {

@@ -76,6 +76,10 @@ struct Row
     double mbPerSec = 0.0;
     /** Simulated-cycle progress a periodic save's wall time forgoes. */
     double pauseCyclesEquiv = 0.0;
+
+    // Critical-path analyzer rows only.
+    std::uint64_t graphBytes = 0; ///< captured DepGraph footprint
+    double solvesPerSec = 0.0;    ///< analytic sweep points per second
 };
 
 // ---------------------------------------------------------------------
@@ -526,6 +530,56 @@ main(int argc, char **argv)
         rows.push_back(restore);
     }
 
+    // --- critical-path capture overhead + analytic solve throughput ---
+    // Capture = the em3d_sm workload with the dependency recorder
+    // attached (src/obs/critpath.hh); overhead reads against the
+    // em3d_sm row. Solve = repeated analytic replays of the captured
+    // graph at varied targets — the marginal cost of one predicted
+    // sweep point (src/obs/predict.hh).
+    {
+        const auto factory =
+            apps::Em3d::factory(bench::em3dParams(scale));
+        core::RunSpec spec;
+        obs::CritPathRecorder rec;
+        const double t0 = nowSeconds();
+        const auto res = core::runApp(factory, spec, true, nullptr,
+                                      nullptr, &rec);
+        Row cap;
+        cap.name = "critpath_capture";
+        cap.events = res.simEvents;
+        cap.wallSeconds = nowSeconds() - t0;
+        cap.eventsPerSec =
+            static_cast<double>(cap.events) / cap.wallSeconds;
+        cap.runtimeCycles = res.runtimeCycles;
+        cap.graphBytes = rec.graph().memoryBytes();
+        rows.push_back(cap);
+
+        obs::Predictor p(rec.graph());
+        const int solves = quick ? 50 : 200;
+        double acc = 0.0;
+        const double s0 = nowSeconds();
+        for (int i = 0; i < solves; ++i) {
+            obs::PredictTarget t = p.baseTarget();
+            t.machine.procMhz = 14.0 + i % 27; // defeat any caching
+            acc += p.predictRuntimeCycles(t);
+        }
+        Row solve;
+        solve.name = "critpath_solve";
+        solve.wallSeconds = nowSeconds() - s0;
+        solve.events = p.solveEvents()
+                       * static_cast<std::uint64_t>(solves);
+        solve.eventsPerSec =
+            static_cast<double>(solve.events) / solve.wallSeconds;
+        solve.solvesPerSec =
+            static_cast<double>(solves) / solve.wallSeconds;
+        if (acc <= 0.0) {
+            std::fprintf(stderr,
+                         "perf_kernel: predictor returned no runtime\n");
+            return 1;
+        }
+        rows.push_back(solve);
+    }
+
     // --- report ---
     std::printf("%-18s %12s %10s %14s %14s\n", "benchmark", "events",
                 "wall (s)", "events/sec", "cycles");
@@ -543,6 +597,12 @@ main(int argc, char **argv)
                             r.pauseCyclesEquiv);
             std::printf("\n");
         }
+        if (r.graphBytes > 0)
+            std::printf("  %-16s %.2f MB dependency graph\n", "",
+                        static_cast<double>(r.graphBytes) / 1e6);
+        if (r.solvesPerSec > 0.0)
+            std::printf("  %-16s %.0f predicted sweep points/s\n", "",
+                        r.solvesPerSec);
     }
 
     auto doc = exp::Json::object();
@@ -586,6 +646,10 @@ main(int argc, char **argv)
             if (r.pauseCyclesEquiv > 0.0)
                 o.set("pause_cycles_equiv", r.pauseCyclesEquiv);
         }
+        if (r.graphBytes > 0)
+            o.set("graph_bytes", r.graphBytes);
+        if (r.solvesPerSec > 0.0)
+            o.set("solves_per_sec", r.solvesPerSec);
         arr.push(std::move(o));
     }
     doc.set("results", std::move(arr));

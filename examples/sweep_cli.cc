@@ -32,10 +32,13 @@
  * --app / --sweep / mechanism names are reported and rejected.
  */
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,10 +46,13 @@
 #include "apps/graph/catalog.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "exp/farm.hh"
 #include "exp/result_cache.hh"
 #include "exp/serialize.hh"
 #include "exp/warm_start.hh"
+#include "obs/critpath.hh"
+#include "obs/predict.hh"
 
 using namespace alewife;
 
@@ -70,6 +76,8 @@ struct Options
     double ckptInterval = 2'000'000.0; ///< snapshot period (sim cycles)
     std::uint64_t warmStart = 0; ///< warm-start fork point (sim events)
     std::string farmDir; ///< distributed farm campaign directory
+    bool predict = false; ///< overlay the analytic prediction
+    core::DelayInjection inject; ///< one-off delay injection report
 };
 
 std::vector<std::string>
@@ -127,7 +135,25 @@ usage()
            "                 [--warm-start events] (ideal-latency only: "
            "fork every\n"
            "                                        latency variant "
-           "from one snapshot)\n";
+           "from one snapshot)\n"
+           "                 [--predict]           (bisection/clock "
+           "sweeps: overlay the\n"
+           "                                        analytic "
+           "prediction from one\n"
+           "                                        instrumented run "
+           "per mechanism,\n"
+           "                                        with per-point "
+           "error and MAPE)\n"
+           "                 [--inject-node n --inject-at cyc "
+           "--inject-cycles c]\n"
+           "                                       (stall node n for c "
+           "cycles at cycle\n"
+           "                                        cyc; runs base + "
+           "injected once per\n"
+           "                                        mechanism and "
+           "prints the propagation/\n"
+           "                                        decay report; "
+           "no sweep)\n";
     std::exit(2);
 }
 
@@ -245,6 +271,25 @@ parse(int argc, char **argv)
             if (o.obs.intervalCycles <= 0)
                 badValue("--obs-interval value", v,
                          "a positive cycle count");
+        } else if (a == "--predict") {
+            o.predict = true;
+        } else if (a == "--inject-node") {
+            const std::string v = next();
+            o.inject.node =
+                static_cast<NodeId>(parseNum("--inject-node", v));
+            if (o.inject.node < 0)
+                badValue("--inject-node value", v, "a node id >= 0");
+        } else if (a == "--inject-at") {
+            const std::string v = next();
+            o.inject.atCycles = parseNum("--inject-at", v);
+            if (o.inject.atCycles < 0)
+                badValue("--inject-at value", v, "a cycle count >= 0");
+        } else if (a == "--inject-cycles") {
+            const std::string v = next();
+            o.inject.stallCycles = parseNum("--inject-cycles", v);
+            if (o.inject.stallCycles <= 0)
+                badValue("--inject-cycles value", v,
+                         "a positive cycle count");
         } else if (a == "--progress") {
             o.progress = true;
         } else if (a == "--help" || a == "-h") {
@@ -343,6 +388,107 @@ quarantineExit(const exp::FarmReport &r)
     return 3;
 }
 
+/**
+ * --predict: overlay the analytic prediction (src/obs/predict.hh) of
+ * each measured series. One instrumented run per mechanism at the
+ * sweep's base configuration; every point is then an O(events)
+ * arithmetic solve. @p knobs are the underlying sweep values parallel
+ * to each series' points; @p targetFor maps one to a PredictTarget.
+ */
+void
+printPredicted(const core::AppFactory &factory,
+               const MachineConfig &base,
+               const std::vector<core::MechSeries> &series,
+               const std::vector<double> &knobs,
+               const std::function<obs::PredictTarget(double)> &targetFor)
+{
+    std::cout << "\npredicted from one instrumented run per mechanism"
+                 " (one analytic solve per point):\n";
+    for (const auto &s : series) {
+        core::RunSpec spec;
+        spec.machine = base;
+        spec.mechanism = s.mech;
+        obs::CritPathRecorder rec;
+        core::runApp(factory, spec, /*verify_fatal=*/true,
+                     /*auditor=*/nullptr, /*driver=*/nullptr, &rec);
+        obs::Predictor p(rec.graph());
+
+        std::cout << "  " << std::setw(6) << std::left
+                  << core::mechanismShortName(s.mech) << std::right;
+        double errSum = 0.0;
+        const std::size_t n = std::min(s.points.size(), knobs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double meas = s.points[i].result.runtimeCycles;
+            const double pred =
+                p.predictRuntimeCycles(targetFor(knobs[i]));
+            const double err =
+                meas > 0 ? 100.0 * std::abs(pred - meas) / meas : 0.0;
+            errSum += err;
+            std::cout << std::setw(11) << std::fixed
+                      << std::setprecision(0) << pred << " ("
+                      << std::setprecision(1) << err << "%)";
+        }
+        std::cout << "   MAPE " << std::setprecision(1)
+                  << (n ? errSum / static_cast<double>(n) : 0.0)
+                  << "%\n";
+    }
+}
+
+/**
+ * Deterministic one-off delay injection: for each selected mechanism,
+ * run the workload once undisturbed and once with RunSpec::delay set,
+ * then print the propagation/decay report (finish shift, nodes
+ * shifted, and the completion/barrier shift by mesh distance from the
+ * injected node).
+ */
+int
+runInjection(const core::AppFactory &factory, const Options &o)
+{
+    for (core::Mechanism m : o.mechs) {
+        core::RunSpec base;
+        base.mechanism = m;
+        obs::CritPathRecorder baseRec;
+        const auto r0 = core::runApp(factory, base, true, nullptr,
+                                     nullptr, &baseRec);
+
+        core::RunSpec inj = base;
+        inj.delay = o.inject;
+        obs::CritPathRecorder injRec;
+        const auto r1 = core::runApp(factory, inj, true, nullptr,
+                                     nullptr, &injRec);
+
+        const obs::InjectionReport rep = obs::compareInjectedRuns(
+            baseRec.graph(), injRec.graph(), o.inject.node);
+
+        std::cout << core::mechanismShortName(m) << ": stall node "
+                  << o.inject.node << " for " << o.inject.stallCycles
+                  << " cycles at cycle " << o.inject.atCycles << "\n"
+                  << std::fixed << std::setprecision(1)
+                  << "  runtime " << r0.runtimeCycles << " -> "
+                  << r1.runtimeCycles << " cycles (finish shift +"
+                  << rep.finishShiftCycles << ")\n"
+                  << "  nodes shifted > 1 cycle: " << rep.nodesShifted
+                  << " of " << rep.nodes.size() << "\n"
+                  << "  propagation by mesh distance from node "
+                  << o.inject.node << ":\n";
+        std::map<int, const obs::InjectionReport::NodeImpact *> rings;
+        for (const auto &ni : rep.nodes) {
+            auto &best = rings[ni.hopsFromInjection];
+            if (!best || ni.doneShiftCycles > best->doneShiftCycles)
+                best = &ni;
+        }
+        for (const auto &[hops, ni] : rings)
+            std::cout << "    " << std::setw(2) << hops
+                      << " hops: completion +" << ni->doneShiftCycles
+                      << " cyc, worst barrier +"
+                      << ni->maxBarrierShiftCycles << " cyc ("
+                      << ni->barriersShifted << " of "
+                      << ni->barrierEpisodes << " episodes shifted)\n";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
 void
 writeStructured(const std::string &path, const exp::Json &doc,
                 const std::function<void(std::ostream &)> &csv)
@@ -393,6 +539,28 @@ main(int argc, char **argv)
                      "the one restore-safe sweep knob)\n\n";
         usage();
     }
+    if (o.inject.node >= 0 || o.inject.stallCycles > 0) {
+        if (!o.inject.enabled()) {
+            std::cerr << "sweep_cli: delay injection needs both "
+                         "--inject-node and --inject-cycles "
+                         "(--inject-at defaults to cycle 0)\n\n";
+            usage();
+        }
+        if (o.sweep != "none") {
+            std::cerr << "sweep_cli: delay injection is a point "
+                         "experiment; drop --sweep " << o.sweep
+                      << "\n\n";
+            usage();
+        }
+        return runInjection(factory, o);
+    }
+    if (o.predict && o.sweep != "bisection" && o.sweep != "clock") {
+        std::cerr << "sweep_cli: --predict overlays the bisection and "
+                     "clock sweeps (the two axes the analytic model "
+                     "re-costs); drop it for --sweep " << o.sweep
+                  << "\n\n";
+        usage();
+    }
     if (o.progress) {
         opts.onProgress = [](const exp::Progress &p) {
             std::cerr << "  [" << p.done << "/" << p.queued << "] "
@@ -419,6 +587,8 @@ main(int argc, char **argv)
 
     std::vector<core::MechSeries> series;
     std::string xlabel;
+    std::vector<double> predictKnobs;
+    std::function<obs::PredictTarget(double)> predictTarget;
     if (o.sweep == "bisection") {
         auto pts = o.points.empty()
                        ? std::vector<double>{18, 9, 4.5}
@@ -426,6 +596,18 @@ main(int argc, char **argv)
         series =
             core::bisectionSweep(factory, base, o.mechs, pts, 64, opts);
         xlabel = "bisection B/cyc";
+        // Points above the native bisection are skipped by the sweep;
+        // mirror that so the knobs stay parallel to the series.
+        for (double b : pts)
+            if (b <= base.bisectionBytesPerCycle())
+                predictKnobs.push_back(b);
+        predictTarget = [&base](double b) {
+            obs::PredictTarget t;
+            t.machine = base;
+            t.crossBytesPerCycle = base.bisectionBytesPerCycle() - b;
+            t.crossMessageBytes = 64;
+            return t;
+        };
     } else if (o.sweep == "msglen") {
         auto pts = o.points.empty()
                        ? std::vector<double>{16, 64, 256}
@@ -444,6 +626,13 @@ main(int argc, char **argv)
                        : o.points;
         series = core::clockSweep(factory, base, o.mechs, pts, opts);
         xlabel = "net lat (cyc)";
+        predictKnobs = pts;
+        predictTarget = [&base](double mhz) {
+            obs::PredictTarget t;
+            t.machine = base;
+            t.machine.procMhz = mhz;
+            return t;
+        };
     } else if (o.sweep == "ideal-latency") {
         auto pts = o.points.empty()
                        ? std::vector<double>{15, 100, 400}
@@ -459,6 +648,9 @@ main(int argc, char **argv)
     }
     core::printSeries(std::cout, o.app + " / " + o.sweep, xlabel,
                       series);
+    if (o.predict)
+        printPredicted(factory, base, series, predictKnobs,
+                       predictTarget);
     if (!o.out.empty()) {
         writeStructured(
             o.out,

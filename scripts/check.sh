@@ -13,6 +13,9 @@
 #      kill -9-style after its first claim and one with a stalled
 #      heartbeat still yields the full, bit-identical result set with
 #      the reclaimed lease visible in the status JSON
+#   8. predict smokes: the analytic sweep overlay prints a MAPE per
+#      mechanism, delay injection reports its propagation, and
+#      farm-dir + obs flags are rejected (farm runs are obs-detached)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer builds (tier-1 + fuzz corpus only)
@@ -193,6 +196,28 @@ FARM2="$(mktemp -d)"
     || { echo "farm smoke: sweep_cli --farm-dir did not verify"; \
          exit 1; }
 rm -rf "$FARM2"
+
+step "predict smoke: analytic overlay + delay-injection report"
+# The clock-sweep overlay must print a predicted value and a MAPE for
+# every requested mechanism (accuracy itself is asserted by the
+# critpath-labelled golden tests; this proves the CLI path end-to-end).
+PRED="$(./build/examples/sweep_cli --app stream --mechs SM,MP-I \
+    --sweep clock --points 14,40 --predict)"
+[[ "$(grep -c "MAPE" <<<"$PRED")" -eq 2 ]] \
+    || { echo "predict smoke: expected 2 MAPE lines"; exit 1; }
+# A stall well past the barrier slack must propagate to other nodes.
+./build/examples/sweep_cli --app stream --mechs SM --inject-node 0 \
+    --inject-at 100 --inject-cycles 8000 \
+    | grep -q "finish shift +" \
+    || { echo "predict smoke: injection report missing"; exit 1; }
+# Farm campaigns are obs-detached; the combination must be rejected.
+PREDF="$(mktemp -d)"
+if ./build/examples/sweep_cli --app stream --mechs SM --sweep none \
+    --farm-dir "$PREDF/farm" --metrics-out "$PREDF/m.json" \
+    >/dev/null 2>&1; then
+    echo "predict smoke: farm-dir + obs was not rejected"; exit 1
+fi
+rm -rf "$PREDF"
 
 step "observability smoke: EM3D with trace + metrics"
 OBS_DIR="$(mktemp -d)"

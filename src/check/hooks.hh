@@ -39,6 +39,48 @@ struct Packet;
 namespace alewife::check {
 
 /**
+ * Cost decomposition of one network edge, reported by net::Mesh just
+ * before it schedules the corresponding deliver (or ideal-deliver)
+ * event. All components are in ticks and sum to the edge's total
+ * delay, `arrive - now`:
+ *
+ *   fixedTicks     latency-dependent, per-message (netFixedNs, or the
+ *                  full ideal latency on the ideal-network path)
+ *   hopTicksTotal  latency-dependent, per-hop (hops x hopNs)
+ *   serTicks       bandwidth-dependent (bytes / linkMBps)
+ *   queueTicks     contention (head stalled behind earlier traffic)
+ *
+ * The hop counts let an analytical model re-cost the edge under a
+ * different machine config: `hops` scales the hop term, `xHops` counts
+ * the east/west links traversed (the ones emulated cross-bisection
+ * traffic also occupies — see net::CrossTraffic, whose row streams
+ * load every horizontal link of their row, not just the bisection
+ * cut).
+ */
+struct PacketEdgeCost
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint32_t bytes = 0;
+    /** Mesh links traversed (0 for self-sends and the ideal network). */
+    std::uint16_t hops = 0;
+    /** Of those, horizontal (east/west) links. */
+    std::uint16_t xHops = 0;
+    Tick fixedTicks = 0;
+    Tick hopTicksTotal = 0;
+    Tick serTicks = 0;
+    Tick queueTicks = 0;
+    /** True when the edge used the contention-free ideal network. */
+    bool ideal = false;
+
+    Tick
+    totalTicks() const
+    {
+        return fixedTicks + hopTicksTotal + serTicks + queueTicks;
+    }
+};
+
+/**
  * Observer interface over every auditable transition of a Machine.
  *
  * Two kinds of consumers exist: check::InvariantAuditor (correctness)
@@ -109,6 +151,17 @@ class Hooks
         (void)pkt, (void)link, (void)depart, (void)waited;
     }
 
+    /**
+     * Cost decomposition of one network edge, emitted synchronously
+     * just before the mesh schedules that edge's deliver event (so a
+     * DepListener can attach it to the very next onSchedule). Not
+     * emitted for NI-reject retries, whose delay is compute-clocked.
+     */
+    virtual void onPacketEdgeCost(const PacketEdgeCost &cost)
+    {
+        (void)cost;
+    }
+
     // --- proc::Proc (per node) ---
 
     /**
@@ -135,6 +188,17 @@ class Hooks
     virtual void onBarrierEpisode(NodeId node, Tick start, Tick end)
     {
         (void)node, (void)start, (void)end;
+    }
+
+    /**
+     * Node @p node's program finished. Fires inside the resume event
+     * that observed completion; @p extraTicks is how far the node's
+     * local clock had run ahead of that event's tick (the machine's
+     * finish time is the max over nodes of event tick + extraTicks).
+     */
+    virtual void onProgramDone(NodeId node, Tick extraTicks)
+    {
+        (void)node, (void)extraTicks;
     }
 
     // --- mem::Cache (per node) ---
@@ -334,6 +398,11 @@ class HookFanout final : public Hooks
         for (Hooks *h : obs_)
             h->onHop(pkt, link, depart, waited);
     }
+    void onPacketEdgeCost(const PacketEdgeCost &cost) override
+    {
+        for (Hooks *h : obs_)
+            h->onPacketEdgeCost(cost);
+    }
     void
     onProcSpan(NodeId node, TimeCat cat, Tick start, Tick end) override
     {
@@ -352,6 +421,12 @@ class HookFanout final : public Hooks
         checkOwner(node);
         for (Hooks *h : obs_)
             h->onBarrierEpisode(node, start, end);
+    }
+    void onProgramDone(NodeId node, Tick extraTicks) override
+    {
+        checkOwner(node);
+        for (Hooks *h : obs_)
+            h->onProgramDone(node, extraTicks);
     }
     void
     onCacheFill(NodeId node, Addr line, mem::LineState st,

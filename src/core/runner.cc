@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "check/auditor.hh"
+#include "obs/critpath.hh"
 #include "obs/recorder.hh"
 #include "sim/logging.hh"
 
@@ -19,7 +20,8 @@ RunResult::avgCycles(TimeCat c) const
 
 RunResult
 runApp(App &app, const RunSpec &spec, bool verify_fatal,
-       check::InvariantAuditor *auditor, RunDriver *driver)
+       check::InvariantAuditor *auditor, RunDriver *driver,
+       obs::CritPathRecorder *critpath)
 {
     Machine m(spec.machine, syncStyle(spec.mechanism),
               recvMode(spec.mechanism));
@@ -27,8 +29,32 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
         m.addCrossTraffic(spec.crossTraffic);
     if (spec.perturb.enabled())
         m.setPerturbation(spec.perturb);
-    if (spec.threads > 1)
+    // An enabled delay injection schedules an untagged event, which
+    // the parallel engine's LP classifier cannot place; it pins the
+    // serial kernel (as does an attached dependency recorder, via
+    // Machine::parallelEligible).
+    if (spec.threads > 1 && !spec.delay.enabled())
         m.setThreads(spec.threads);
+
+    // Attach the dependency recorder before anything schedules events,
+    // so it sees sequence numbers from 0.
+    if (critpath)
+        critpath->attach(m);
+
+    if (spec.delay.enabled()) {
+        Machine *mp = &m;
+        const NodeId dnode = spec.delay.node;
+        const double stall = spec.delay.stallCycles;
+        if (dnode >= m.nodes())
+            ALEWIFE_FATAL("delay injection node ", dnode,
+                          " out of range (machine has ", m.nodes(),
+                          " nodes)");
+        m.eq().schedule(cyclesToTicks(spec.delay.atCycles),
+                        [mp, dnode, stall]() {
+                            mp->procAt(dnode).chargeHandler(
+                                stall, TimeCat::MsgOverhead);
+                        });
+    }
 
     std::optional<check::InvariantAuditor> owned;
     if (!auditor && spec.audit)
@@ -100,10 +126,11 @@ runApp(App &app, const RunSpec &spec, bool verify_fatal,
 
 RunResult
 runApp(const AppFactory &factory, const RunSpec &spec, bool verify_fatal,
-       check::InvariantAuditor *auditor, RunDriver *driver)
+       check::InvariantAuditor *auditor, RunDriver *driver,
+       obs::CritPathRecorder *critpath)
 {
     auto app = factory();
-    return runApp(*app, spec, verify_fatal, auditor, driver);
+    return runApp(*app, spec, verify_fatal, auditor, driver, critpath);
 }
 
 } // namespace alewife::core

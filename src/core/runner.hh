@@ -23,7 +23,28 @@ namespace alewife::check {
 class InvariantAuditor;
 }
 
+namespace alewife::obs {
+class CritPathRecorder;
+}
+
 namespace alewife::core {
+
+/**
+ * Deterministic one-off delay injection: charge node @p node a
+ * handler-style stall of @p stallCycles at global time @p atCycles
+ * (arXiv 1905.10603-style perturbation probing). Changes results by
+ * design, so an enabled injection makes the run uncacheable (see
+ * ResultCache::key) and pins the serial kernel; disabled (the
+ * default) schedules nothing and is bit-identical to no knob at all.
+ */
+struct DelayInjection
+{
+    NodeId node = -1;
+    double atCycles = 0.0;
+    double stallCycles = 0.0;
+
+    bool enabled() const { return node >= 0 && stallCycles > 0.0; }
+};
 
 /** Everything a single application run produced. */
 struct RunResult
@@ -84,6 +105,12 @@ struct RunSpec
      * part of result-cache keys.
      */
     int threads = 1;
+
+    /**
+     * One-off delay injection (off by default). Enabled injections
+     * run on the serial kernel and are never cached.
+     */
+    DelayInjection delay;
 };
 
 /**
@@ -113,16 +140,20 @@ class RunDriver
  *        spec.audit is set, an aborting auditor is used internally
  * @param driver optional machine-driving seam (checkpointing); null
  *        uses Machine::run()
+ * @param critpath externally owned critical-path dependency recorder
+ *        to attach (obs/critpath.hh); forces the serial kernel
  */
 RunResult runApp(App &app, const RunSpec &spec, bool verify_fatal = true,
                  check::InvariantAuditor *auditor = nullptr,
-                 RunDriver *driver = nullptr);
+                 RunDriver *driver = nullptr,
+                 obs::CritPathRecorder *critpath = nullptr);
 
 /** Convenience: build an App from a factory and run it. */
 RunResult runApp(const AppFactory &factory, const RunSpec &spec,
                  bool verify_fatal = true,
                  check::InvariantAuditor *auditor = nullptr,
-                 RunDriver *driver = nullptr);
+                 RunDriver *driver = nullptr,
+                 obs::CritPathRecorder *critpath = nullptr);
 
 } // namespace alewife::core
 

@@ -31,8 +31,10 @@ ResultCache::key(const core::RunSpec &spec, const std::string &appKey)
     if (appKey.empty())
         return "";
     // Perturbed runs explore alternate-but-legal schedules; their
-    // results are seed-dependent and must never be cached.
-    if (spec.perturb.enabled())
+    // results are seed-dependent and must never be cached. Delay
+    // injections change results by design and are likewise never
+    // cached (the knob is not part of the key).
+    if (spec.perturb.enabled() || spec.delay.enabled())
         return "";
     char cross[96];
     std::snprintf(cross, sizeof(cross),

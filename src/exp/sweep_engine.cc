@@ -86,11 +86,22 @@ SweepEngine::run(const std::vector<Job> &jobs)
     // Distributed path: hand the uncached remainder to a farm
     // campaign when one is configured and the batch is serializable.
     if (!opts_.farmDir.empty() && !todo.empty()) {
+        // Farm workers run obs-detached: they execute in separate
+        // processes and return only RunResults, so the per-run trace/
+        // metrics/flight files the caller asked for would silently
+        // never be written. Reject the combination outright rather
+        // than degrade it (docs/API.md, "Farm runs are obs-detached").
+        if (opts_.obs.any())
+            ALEWIFE_FATAL(
+                "sweep: a farm campaign (farm-dir) cannot be combined "
+                "with observability sinks (trace-out / metrics-out / "
+                "obs-interval / flight-out): farm workers run "
+                "obs-detached and would not write the per-run files. "
+                "Drop the obs flags, or drop farm-dir to run "
+                "in-process.");
         std::string why;
         if (opts_.audit)
             why = "audited batches must simulate in-process";
-        else if (opts_.obs.any())
-            why = "observed batches write per-run files in-process";
         else if (opts_.workload.empty())
             why = "no serializable workload identity "
                   "(EngineOptions::workload)";

@@ -102,6 +102,10 @@ Machine::parallelEligible() const
         return false;
     if (Trace::anyEnabled())
         return false;
+    // The dependency recorder consumes the serial kernel's seq/parent
+    // stream; the window engine re-assigns sequence numbers at commit.
+    if (eq_.depListener())
+        return false;
     for (check::Hooks *h : hookObs_) {
         if (!h->parallelCapable())
             return false;

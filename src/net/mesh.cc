@@ -149,6 +149,15 @@ Mesh::send(std::unique_ptr<Packet> pkt)
     if (cfg_.idealNet) {
         // Uniform latency, infinite bandwidth, no contention.
         const Tick arrive = now + idealTicks_;
+        if (hooks_) {
+            check::PacketEdgeCost cost;
+            cost.src = pkt->src;
+            cost.dst = pkt->dst;
+            cost.bytes = pkt->sizeBytes;
+            cost.fixedTicks = idealTicks_;
+            cost.ideal = true;
+            hooks_->onPacketEdgeCost(cost);
+        }
         auto *raw = pkt.release();
         eq_.schedule(arrive,
                      EventMeta{EventTag::MeshDeliverIdeal,
@@ -165,6 +174,9 @@ Mesh::send(std::unique_ptr<Packet> pkt)
 
     Tick head = now + fixedTicks_;
     Tick first_link_wait = 0;
+    Tick hopTicksTotal = 0;
+    Tick queueTicksTotal = 0;
+    std::uint16_t xHops = 0;
     bool first = true;
     int finalLink = -1;
     for (int li : scratchLinks_) {
@@ -177,6 +189,8 @@ Mesh::send(std::unique_ptr<Packet> pkt)
             first_link_wait = waited;
             first = false;
         }
+        hopTicksTotal += hop;
+        queueTicksTotal += waited;
         link.freeAt = head + ser;
         link.busyTicks += ser;
         link.bytes += pkt->sizeBytes;
@@ -189,6 +203,8 @@ Mesh::send(std::unique_ptr<Packet> pkt)
         const int node = li / 4;
         const int dir = li % 4;
         const int x = node % cfg_.meshX;
+        if (dir == 0 || dir == 1)
+            ++xHops;
         if ((dir == 0 && x == bisectX - 1) || (dir == 1 && x == bisectX))
             bisectionBytes_ += pkt->sizeBytes;
     }
@@ -197,6 +213,19 @@ Mesh::send(std::unique_ptr<Packet> pkt)
     const Tick arrive =
         scratchLinks_.empty() ? now + fixedTicks_ + ser : head + ser;
 
+    if (hooks_) {
+        check::PacketEdgeCost cost;
+        cost.src = pkt->src;
+        cost.dst = pkt->dst;
+        cost.bytes = pkt->sizeBytes;
+        cost.hops = static_cast<std::uint16_t>(scratchLinks_.size());
+        cost.xHops = xHops;
+        cost.fixedTicks = fixedTicks_;
+        cost.hopTicksTotal = hopTicksTotal;
+        cost.serTicks = ser;
+        cost.queueTicks = queueTicksTotal;
+        hooks_->onPacketEdgeCost(cost);
+    }
     auto *raw = pkt.release();
     eq_.schedule(arrive,
                  EventMeta{EventTag::MeshDeliver,

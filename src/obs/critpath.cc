@@ -1,0 +1,255 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+
+#include "machine/machine.hh"
+#include "net/packet.hh"
+#include "sim/logging.hh"
+
+namespace alewife::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+/** Owning node of an event, derived from its typed payload. */
+std::int16_t
+metaNode(const EventMeta &meta)
+{
+    switch (meta.tag) {
+      case EventTag::ProcResume:
+      case EventTag::CohLocalDeliver:
+      case EventTag::CohProcess:
+      case EventTag::CohFill:
+      case EventTag::CohHomeDrain:
+      case EventTag::CohHomeComplete:
+      case EventTag::AmDrain:
+        return static_cast<std::int16_t>(meta.a);
+      case EventTag::MeshDeliver:
+      case EventTag::MeshDeliverIdeal:
+      case EventTag::MeshRetry:
+        // a = Packet*, alive at schedule time (the event owns it).
+        return static_cast<std::int16_t>(
+            reinterpret_cast<const net::Packet *>(meta.a)->dst);
+      case EventTag::CohPacketLaunch:
+      case EventTag::AmPacketLaunch:
+        return static_cast<std::int16_t>(
+            reinterpret_cast<const net::Packet *>(meta.a)->src);
+      case EventTag::Untagged:
+      case EventTag::CrossTrafficTick:
+      case EventTag::kCount:
+        break;
+    }
+    return -1;
+}
+
+} // namespace
+
+std::uint64_t
+DepGraph::digest() const
+{
+    std::uint64_t h = kFnvOffset;
+    const std::uint32_t n = static_cast<std::uint32_t>(size());
+    mix(h, n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        mix(h, parent[i]);
+        mix(h, deltaTicks(i));
+        mix(h, (static_cast<std::uint64_t>(tag[i]) << 24)
+                   | (static_cast<std::uint64_t>(flags[i]) << 16)
+                   | static_cast<std::uint16_t>(node[i]));
+        if (parent[i] == kNoParent) {
+            const auto it = rootNow.find(i);
+            mix(h, it == rootNow.end() ? 0 : it->second);
+        }
+        const auto e = netEdges.find(i);
+        if (e != netEdges.end()) {
+            const NetEdge &ne = e->second;
+            mix(h, (static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(ne.src))
+                    << 32)
+                       | static_cast<std::uint32_t>(ne.dst));
+            mix(h, (static_cast<std::uint64_t>(ne.bytes) << 32)
+                       | (static_cast<std::uint64_t>(ne.hops) << 16)
+                       | ne.xHops);
+            mix(h, ne.fixedTicks);
+            mix(h, ne.hopTicksTotal);
+            mix(h, ne.serTicks);
+            mix(h, ne.queueTicks);
+            mix(h, ne.ideal ? 1 : 0);
+        }
+    }
+    for (const FinishContrib &f : finish) {
+        mix(h, f.seq);
+        mix(h, static_cast<std::uint32_t>(f.node));
+        mix(h, f.extraTicks);
+        mix(h, f.atTick);
+    }
+    for (const Barrier &b : barriers) {
+        mix(h, static_cast<std::uint32_t>(b.node));
+        mix(h, b.startTick);
+        mix(h, b.endTick);
+    }
+    for (const auto &spans : computeSpans) {
+        mix(h, spans.size());
+        for (const auto &[s, e] : spans) {
+            mix(h, s);
+            mix(h, e);
+        }
+    }
+    mix(h, recordedFinishTick);
+    mix(h, eventsExecuted);
+    return h;
+}
+
+std::size_t
+DepGraph::memoryBytes() const
+{
+    const std::size_t perEvent = sizeof(std::uint32_t) * 2
+                                 + sizeof(std::uint8_t) * 2
+                                 + sizeof(std::int16_t);
+    std::size_t spanBytes = 0;
+    for (const auto &spans : computeSpans)
+        spanBytes += spans.size() * sizeof(std::pair<Tick, Tick>);
+    return size() * perEvent
+           + netEdges.size() * (sizeof(NetEdge) + 2 * sizeof(void *))
+           + bigDelta.size() * (sizeof(Tick) + 2 * sizeof(void *))
+           + rootNow.size() * (sizeof(Tick) + 2 * sizeof(void *))
+           + finish.size() * sizeof(FinishContrib)
+           + barriers.size() * sizeof(Barrier) + spanBytes;
+}
+
+CritPathRecorder::CritPathRecorder() = default;
+
+void
+CritPathRecorder::attach(Machine &m)
+{
+    g_.baseConfig = m.config();
+    doneNodes_.assign(static_cast<std::size_t>(m.nodes()), false);
+    g_.computeSpans.assign(static_cast<std::size_t>(m.nodes()), {});
+    m.attachHooks(this);
+    m.eq().setDepListener(this);
+}
+
+void
+CritPathRecorder::onSchedule(std::uint64_t seq, std::uint64_t parentSeq,
+                             Tick when, Tick now, const EventMeta &meta)
+{
+    if (seq != g_.size())
+        ALEWIFE_PANIC("critpath: non-contiguous event seq ", seq,
+                      " (expected ", g_.size(),
+                      "; was the recorder attached mid-run?)");
+    if (seq >= DepGraph::kNoParent)
+        ALEWIFE_PANIC("critpath: run exceeds ", DepGraph::kNoParent,
+                      " events; the dependency graph cannot hold it");
+
+    const auto s = static_cast<std::uint32_t>(seq);
+    const Tick delta = when - now;
+    g_.parent.push_back(parentSeq == DepListener::kNoParent
+                            ? DepGraph::kNoParent
+                            : static_cast<std::uint32_t>(parentSeq));
+    if (delta >= DepGraph::kBigDelta) [[unlikely]] {
+        g_.delta32.push_back(DepGraph::kBigDelta);
+        g_.bigDelta.emplace(s, delta);
+    } else {
+        g_.delta32.push_back(static_cast<std::uint32_t>(delta));
+    }
+    g_.tag.push_back(static_cast<std::uint8_t>(meta.tag));
+    g_.flags.push_back(0);
+    if (parentSeq == DepListener::kNoParent)
+        g_.rootNow.emplace(s, now);
+
+    std::int16_t node = -1;
+    if (havePendingEdge_
+        && (meta.tag == EventTag::MeshDeliver
+            || meta.tag == EventTag::MeshDeliverIdeal)) {
+        DepGraph::NetEdge e;
+        e.src = pendingEdge_.src;
+        e.dst = pendingEdge_.dst;
+        e.bytes = pendingEdge_.bytes;
+        e.hops = pendingEdge_.hops;
+        e.xHops = pendingEdge_.xHops;
+        e.fixedTicks = pendingEdge_.fixedTicks;
+        e.hopTicksTotal = pendingEdge_.hopTicksTotal;
+        e.serTicks = pendingEdge_.serTicks;
+        e.queueTicks = pendingEdge_.queueTicks;
+        e.ideal = pendingEdge_.ideal;
+        g_.netEdges.emplace(s, e);
+        node = static_cast<std::int16_t>(pendingEdge_.dst);
+        havePendingEdge_ = false;
+    } else {
+        node = metaNode(meta);
+    }
+    g_.node.push_back(node);
+}
+
+void
+CritPathRecorder::onExecute(std::uint64_t seq, Tick when)
+{
+    curSeq_ = static_cast<std::uint32_t>(seq);
+    curWhen_ = when;
+    g_.flags[curSeq_] |= 1u;
+    ++g_.eventsExecuted;
+}
+
+void
+CritPathRecorder::onPacketEdgeCost(const check::PacketEdgeCost &cost)
+{
+    pendingEdge_ = cost;
+    havePendingEdge_ = true;
+}
+
+void
+CritPathRecorder::onProgramDone(NodeId node, Tick extraTicks)
+{
+    if (static_cast<std::size_t>(node) < doneNodes_.size())
+        doneNodes_[static_cast<std::size_t>(node)] = true;
+    g_.finish.push_back(DepGraph::FinishContrib{curSeq_, node, extraTicks,
+                                                curWhen_ + extraTicks});
+    g_.recordedFinishTick =
+        std::max(g_.recordedFinishTick, curWhen_ + extraTicks);
+}
+
+void
+CritPathRecorder::onHandlerRun(NodeId node, Tick start, Tick end)
+{
+    (void)start;
+    // Handler charges on a completed node advance its local clock past
+    // the program-done point; they contribute to the finish time.
+    if (static_cast<std::size_t>(node) >= doneNodes_.size()
+        || !doneNodes_[static_cast<std::size_t>(node)])
+        return;
+    if (end <= curWhen_)
+        return;
+    g_.finish.push_back(
+        DepGraph::FinishContrib{curSeq_, node, end - curWhen_, end});
+    g_.recordedFinishTick = std::max(g_.recordedFinishTick, end);
+}
+
+void
+CritPathRecorder::onBarrierEpisode(NodeId node, Tick start, Tick end)
+{
+    g_.barriers.push_back(DepGraph::Barrier{node, start, end});
+}
+
+void
+CritPathRecorder::onProcSpan(NodeId node, TimeCat cat, Tick start,
+                             Tick end)
+{
+    if (cat != TimeCat::Compute || start >= end)
+        return;
+    const auto n = static_cast<std::size_t>(node);
+    if (n < g_.computeSpans.size())
+        g_.computeSpans[n].emplace_back(start, end);
+}
+
+} // namespace alewife::obs

@@ -1,0 +1,508 @@
+#include "obs/predict.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace alewife::obs {
+
+namespace {
+
+constexpr Tick kInfTick = std::numeric_limits<Tick>::max();
+
+int
+manhattan(NodeId a, NodeId b, int meshX)
+{
+    const int ax = a % meshX, ay = a / meshX;
+    const int bx = b % meshX, by = b / meshX;
+    return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+/** Ticks of @p spans (sorted, disjoint) overlapping [lo, hi). */
+Tick
+overlapTicks(const std::vector<std::pair<Tick, Tick>> &spans, Tick lo,
+             Tick hi)
+{
+    if (lo >= hi || spans.empty())
+        return 0;
+    auto it = std::lower_bound(
+        spans.begin(), spans.end(), lo,
+        [](const std::pair<Tick, Tick> &s, Tick v) {
+            return s.second <= v;
+        });
+    Tick total = 0;
+    for (; it != spans.end() && it->first < hi; ++it)
+        total += std::min(hi, it->second) - std::max(lo, it->first);
+    return total;
+}
+
+int
+slackBucket(double cycles)
+{
+    static constexpr double kEdge[] = {1.0, 4.0, 16.0, 64.0, 256.0,
+                                       1024.0};
+    for (int i = 0; i < 6; ++i)
+        if (cycles < kEdge[i])
+            return i;
+    return SlackStats::kBuckets - 1;
+}
+
+} // namespace
+
+/** Per-target constants of the edge re-costing model. */
+struct Predictor::CostModel
+{
+    Tick fixedTicks = 0;
+    Tick hopTicks = 0;
+    Tick idealTicks = 0;
+    double bytesPerCycle = 1.0;
+    /** Ratio of per-byte serialization times, target / base. */
+    double qscale = 1.0;
+    /** Cross-traffic utilization of each horizontal link. */
+    double u = 0.0;
+    /** Analytic added cross-traffic wait per routed edge, in ticks. */
+    double perEdgeAdded = 0.0;
+    /** Symbolic injection: extra ticks added to one event's delta. */
+    std::uint32_t injectSeq = DepGraph::kNoParent;
+    Tick injectTicks = 0;
+
+    CostModel(const DepGraph &g, const PredictTarget &t)
+    {
+        const MachineConfig &m = t.machine;
+        fixedTicks = cyclesToTicks(m.netFixedCycles());
+        hopTicks = cyclesToTicks(m.hopCycles());
+        idealTicks = cyclesToTicks(m.idealNetLatencyCycles);
+        bytesPerCycle = m.linkBytesPerCycle();
+        qscale = g.baseConfig.linkBytesPerCycle() / bytesPerCycle;
+        if (t.crossBytesPerCycle > 0.0) {
+            // Each of the 2*meshY row streams loads every horizontal
+            // link of its row at rate cross/(2*meshY) bytes/cycle, as
+            // a *deterministic periodic* stream (one messageBytes
+            // packet per fixed period per stream). A packet head
+            // arriving at a random phase therefore waits the residual
+            // of the current cross-packet service — u * serCross / 2
+            // per horizontal link on average — with no open-ended
+            // M/M/1-style queue buildup, because the stream is
+            // strictly paced below link capacity. (Validated against
+            // direct simulation: the measured added queueing per
+            // horizontal hop matches this within a few percent.)
+            //
+            // The wait is charged at the graph-mean horizontal-hop
+            // count per routed edge rather than each edge's own xHops:
+            // barrier-synchronized programs finish at per-phase maxima
+            // over nodes, and the recorded tree pins each barrier to
+            // the base run's last arriver — typically a tail-route
+            // node. Inflating that one chain by its own (tail) route
+            // lengths double-counts the selection; the fleet-average
+            // horizontal load predicts the shifted maxima well.
+            u = std::min(
+                t.crossBytesPerCycle / m.bisectionBytesPerCycle(), 1.0);
+            const double serCross = static_cast<double>(cyclesToTicks(
+                static_cast<double>(t.crossMessageBytes)
+                / bytesPerCycle));
+            double xHopSum = 0.0;
+            std::uint64_t routed = 0;
+            for (const auto &[seq, e] : g.netEdges) {
+                if (e.ideal || e.hops == 0)
+                    continue;
+                xHopSum += e.xHops;
+                ++routed;
+            }
+            const double meanXHops =
+                routed > 0 ? xHopSum / static_cast<double>(routed)
+                           : 0.0;
+            perEdgeAdded = meanXHops * u * serCross / 2.0;
+        }
+    }
+
+    Tick
+    serTicks(std::uint32_t bytes) const
+    {
+        return cyclesToTicks(static_cast<double>(bytes)
+                             / bytesPerCycle);
+    }
+
+    Tick
+    edgeDelta(const DepGraph::NetEdge &e) const
+    {
+        if (e.ideal)
+            return idealTicks;
+        double q = static_cast<double>(e.queueTicks) * qscale;
+        if (e.hops > 0)
+            q += perEdgeAdded;
+        const Tick det = fixedTicks
+                         + static_cast<Tick>(e.hops) * hopTicks
+                         + serTicks(e.bytes);
+        return det + static_cast<Tick>(std::llround(q));
+    }
+};
+
+Predictor::Predictor(const DepGraph &g) : g_(g)
+{
+    edgesBySeq_.reserve(g_.netEdges.size());
+    for (const auto &[seq, e] : g_.netEdges)
+        edgesBySeq_.emplace_back(seq, e);
+    std::sort(edgesBySeq_.begin(), edgesBySeq_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+}
+
+PredictTarget
+Predictor::baseTarget() const
+{
+    PredictTarget t;
+    t.machine = g_.baseConfig;
+    return t;
+}
+
+std::uint64_t
+Predictor::solveEvents() const
+{
+    return g_.size();
+}
+
+void
+Predictor::forwardPass(const CostModel &m, std::vector<Tick> &pred,
+                       std::vector<Tick> &pdelta) const
+{
+    const std::size_t n = g_.size();
+    pred.resize(n);
+    pdelta.resize(n);
+    // Events are replayed in seq order and edgesBySeq_ is sorted by
+    // seq, so one advancing cursor replaces a hash lookup per event.
+    std::size_t ei = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        Tick delta;
+        if (ei < edgesBySeq_.size() && edgesBySeq_[ei].first == s)
+            delta = m.edgeDelta(edgesBySeq_[ei++].second);
+        else
+            delta = g_.deltaTicks(s);
+        if (s == m.injectSeq) [[unlikely]]
+            delta += m.injectTicks;
+        pdelta[i] = delta;
+        const std::uint32_t p = g_.parent[i];
+        Tick base = 0;
+        if (p == DepGraph::kNoParent) {
+            const auto r = g_.rootNow.find(s);
+            if (r != g_.rootNow.end())
+                base = r->second;
+        } else {
+            base = pred[p];
+        }
+        pred[i] = base + delta;
+    }
+}
+
+Tick
+Predictor::finishOf(const std::vector<Tick> &pred, Tick *extraOut,
+                    std::size_t *argmaxOut) const
+{
+    Tick finish = 0;
+    Tick extra = 0;
+    std::size_t argmax = 0;
+    for (std::size_t i = 0; i < g_.finish.size(); ++i) {
+        const DepGraph::FinishContrib &f = g_.finish[i];
+        const Tick t = pred[f.seq] + f.extraTicks;
+        if (t > finish) {
+            finish = t;
+            extra = f.extraTicks;
+            argmax = i;
+        }
+    }
+    if (g_.finish.empty()) {
+        for (std::size_t i = 0; i < pred.size(); ++i)
+            if (g_.executed(static_cast<std::uint32_t>(i)))
+                finish = std::max(finish, pred[i]);
+    }
+    if (extraOut)
+        *extraOut = extra;
+    if (argmaxOut)
+        *argmaxOut = argmax;
+    return finish;
+}
+
+double
+Predictor::predictRuntimeCycles(const PredictTarget &t) const
+{
+    const CostModel m(g_, t);
+    forwardPass(m, scratchPred_, scratchDelta_);
+    return ticksToCycles(finishOf(scratchPred_));
+}
+
+bool
+Predictor::selfCheckExact() const
+{
+    const CostModel m(g_, baseTarget());
+    std::vector<Tick> pred, pdelta;
+    forwardPass(m, pred, pdelta);
+    for (const DepGraph::FinishContrib &f : g_.finish)
+        if (pred[f.seq] + f.extraTicks != f.atTick)
+            return false;
+    return finishOf(pred) == g_.recordedFinishTick;
+}
+
+CritPathBreakdown
+Predictor::breakdown(const PredictTarget &t) const
+{
+    const CostModel m(g_, t);
+    std::vector<Tick> pred, pdelta;
+    forwardPass(m, pred, pdelta);
+    // Base-configuration pass: the recorded event times, used to
+    // window the compute-span overlap below. Non-edge deltas are
+    // identical under every target, so the compute content of a delta
+    // is target-invariant even though absolute times shift.
+    std::vector<Tick> pred0, pdelta0;
+    forwardPass(CostModel(g_, baseTarget()), pred0, pdelta0);
+
+    CritPathBreakdown b;
+    Tick extra = 0;
+    std::size_t argmax = 0;
+    const Tick finish = finishOf(pred, &extra, &argmax);
+    b.totalCycles = ticksToCycles(finish);
+    if (g_.finish.empty())
+        return b;
+
+    b.computeCycles += ticksToCycles(extra); // final run-ahead
+    std::uint32_t cur = g_.finish[argmax].seq;
+    for (;;) {
+        ++b.pathEvents;
+        const auto e = g_.netEdges.find(cur);
+        if (e != g_.netEdges.end()) {
+            ++b.pathNetEdges;
+            const DepGraph::NetEdge &ne = e->second;
+            if (ne.ideal) {
+                b.netFixedCycles += ticksToCycles(m.idealTicks);
+            } else {
+                b.netFixedCycles += ticksToCycles(m.fixedTicks);
+                b.netHopCycles += ticksToCycles(
+                    static_cast<Tick>(ne.hops) * m.hopTicks);
+                b.netSerCycles += ticksToCycles(m.serTicks(ne.bytes));
+                const double q =
+                    static_cast<double>(ne.queueTicks) * m.qscale;
+                const double cross =
+                    ne.hops > 0 ? m.perEdgeAdded : 0.0;
+                b.netQueueCycles += q / kTicksPerCycle;
+                b.crossTrafficCycles += cross / kTicksPerCycle;
+            }
+        } else {
+            const double cyc = ticksToCycles(pdelta[cur]);
+            // The processor charges compute by running its local
+            // clock ahead, so an event's schedule delta can embed the
+            // compute burst that preceded its issue; separate it back
+            // out via the recorded compute spans of the scheduling
+            // node over this delta's base-run window.
+            double comp = 0.0;
+            const std::uint32_t par = g_.parent[cur];
+            if (par != DepGraph::kNoParent) {
+                const std::int16_t n =
+                    g_.node[par] >= 0 ? g_.node[par] : g_.node[cur];
+                if (n >= 0
+                    && static_cast<std::size_t>(n)
+                           < g_.computeSpans.size())
+                    comp = std::min(
+                        cyc,
+                        ticksToCycles(overlapTicks(
+                            g_.computeSpans[static_cast<std::size_t>(n)],
+                            pred0[par], pred0[cur])));
+            }
+            switch (static_cast<EventTag>(g_.tag[cur])) {
+              case EventTag::ProcResume:
+                b.computeCycles += cyc;
+                comp = 0.0;
+                break;
+              case EventTag::CohLocalDeliver:
+              case EventTag::CohPacketLaunch:
+              case EventTag::CohProcess:
+              case EventTag::CohFill:
+              case EventTag::CohHomeDrain:
+              case EventTag::CohHomeComplete:
+                b.protocolCycles += cyc - comp;
+                break;
+              case EventTag::AmPacketLaunch:
+              case EventTag::AmDrain:
+                b.messageCycles += cyc - comp;
+                break;
+              case EventTag::MeshRetry:
+                b.retryCycles += cyc - comp;
+                break;
+              default:
+                b.otherCycles += cyc - comp;
+                break;
+            }
+            b.computeCycles += comp;
+        }
+        const std::uint32_t p = g_.parent[cur];
+        if (p == DepGraph::kNoParent) {
+            const auto r = g_.rootNow.find(cur);
+            if (r != g_.rootNow.end())
+                b.otherCycles += ticksToCycles(r->second);
+            break;
+        }
+        cur = p;
+    }
+    return b;
+}
+
+std::vector<SlackStats>
+Predictor::slackByNode(const PredictTarget &t) const
+{
+    const CostModel m(g_, t);
+    std::vector<Tick> pred, pdelta;
+    forwardPass(m, pred, pdelta);
+    const Tick finish = finishOf(pred);
+
+    const std::size_t n = g_.size();
+    std::vector<Tick> late(n, kInfTick);
+    for (const DepGraph::FinishContrib &f : g_.finish) {
+        const Tick bound = finish - f.extraTicks;
+        late[f.seq] = std::min(late[f.seq], bound);
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        if (late[i] == kInfTick)
+            continue;
+        const std::uint32_t p = g_.parent[i];
+        if (p == DepGraph::kNoParent)
+            continue;
+        const Tick bound = late[i] - pdelta[i];
+        late[p] = std::min(late[p], bound);
+    }
+
+    std::vector<SlackStats> stats(
+        static_cast<std::size_t>(g_.baseConfig.nodes()));
+    for (const auto &[seq, edge] : g_.netEdges) {
+        if (!g_.executed(seq))
+            continue;
+        const auto dst = static_cast<std::size_t>(edge.dst);
+        if (dst >= stats.size())
+            continue;
+        SlackStats &s = stats[dst];
+        ++s.edges;
+        if (late[seq] == kInfTick) {
+            ++s.unbounded;
+            continue;
+        }
+        const double cycles = ticksToCycles(late[seq] - pred[seq]);
+        ++s.bucket[slackBucket(cycles)];
+        s.meanCycles += cycles;
+        s.maxCycles = std::max(s.maxCycles, cycles);
+    }
+    for (SlackStats &s : stats) {
+        const std::uint64_t bounded = s.edges - s.unbounded;
+        if (bounded > 0)
+            s.meanCycles /= static_cast<double>(bounded);
+    }
+    return stats;
+}
+
+InjectionReport
+Predictor::injectDelay(const PredictTarget &t, NodeId node,
+                       double atCycles, double stallCycles) const
+{
+    CostModel m(g_, t);
+    std::vector<Tick> pred0, pdelta0;
+    forwardPass(m, pred0, pdelta0);
+
+    // Stall the first event the node executes at or after the chosen
+    // tick: every transitively dependent event shifts with it.
+    const Tick atTicks = cyclesToTicks(atCycles);
+    for (std::size_t i = 0; i < g_.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        if (g_.node[i] == static_cast<std::int16_t>(node)
+            && g_.executed(s) && pred0[i] >= atTicks) {
+            m.injectSeq = s;
+            m.injectTicks = cyclesToTicks(stallCycles);
+            break;
+        }
+    }
+    std::vector<Tick> pred1, pdelta1;
+    forwardPass(m, pred1, pdelta1);
+
+    InjectionReport rep;
+    rep.injectNode = node;
+    rep.finishShiftCycles =
+        ticksToCycles(finishOf(pred1)) - ticksToCycles(finishOf(pred0));
+
+    const int nodes = g_.baseConfig.nodes();
+    std::vector<double> done0(static_cast<std::size_t>(nodes), 0.0);
+    std::vector<double> done1(static_cast<std::size_t>(nodes), 0.0);
+    for (const DepGraph::FinishContrib &f : g_.finish) {
+        const auto i = static_cast<std::size_t>(f.node);
+        if (i >= done0.size())
+            continue;
+        done0[i] = std::max(done0[i],
+                            ticksToCycles(pred0[f.seq] + f.extraTicks));
+        done1[i] = std::max(done1[i],
+                            ticksToCycles(pred1[f.seq] + f.extraTicks));
+    }
+    for (int i = 0; i < nodes; ++i) {
+        InjectionReport::NodeImpact imp;
+        imp.node = i;
+        imp.hopsFromInjection =
+            manhattan(i, node, g_.baseConfig.meshX);
+        imp.doneShiftCycles = done1[static_cast<std::size_t>(i)]
+                              - done0[static_cast<std::size_t>(i)];
+        if (imp.doneShiftCycles > 1.0)
+            ++rep.nodesShifted;
+        rep.nodes.push_back(imp);
+    }
+    return rep;
+}
+
+InjectionReport
+compareInjectedRuns(const DepGraph &base, const DepGraph &injected,
+                    NodeId injectNode)
+{
+    InjectionReport rep;
+    rep.injectNode = injectNode;
+    rep.finishShiftCycles =
+        ticksToCycles(injected.recordedFinishTick)
+        - ticksToCycles(base.recordedFinishTick);
+
+    const int nodes = base.baseConfig.nodes();
+    const auto sz = static_cast<std::size_t>(nodes);
+    std::vector<Tick> done0(sz, 0), done1(sz, 0);
+    for (const DepGraph::FinishContrib &f : base.finish)
+        if (static_cast<std::size_t>(f.node) < sz)
+            done0[static_cast<std::size_t>(f.node)] = std::max(
+                done0[static_cast<std::size_t>(f.node)], f.atTick);
+    for (const DepGraph::FinishContrib &f : injected.finish)
+        if (static_cast<std::size_t>(f.node) < sz)
+            done1[static_cast<std::size_t>(f.node)] = std::max(
+                done1[static_cast<std::size_t>(f.node)], f.atTick);
+
+    std::vector<std::vector<Tick>> bar0(sz), bar1(sz);
+    for (const DepGraph::Barrier &b : base.barriers)
+        if (static_cast<std::size_t>(b.node) < sz)
+            bar0[static_cast<std::size_t>(b.node)].push_back(b.endTick);
+    for (const DepGraph::Barrier &b : injected.barriers)
+        if (static_cast<std::size_t>(b.node) < sz)
+            bar1[static_cast<std::size_t>(b.node)].push_back(b.endTick);
+
+    for (int i = 0; i < nodes; ++i) {
+        const auto n = static_cast<std::size_t>(i);
+        InjectionReport::NodeImpact imp;
+        imp.node = i;
+        imp.hopsFromInjection =
+            manhattan(i, injectNode, base.baseConfig.meshX);
+        imp.doneShiftCycles =
+            ticksToCycles(done1[n]) - ticksToCycles(done0[n]);
+        const std::size_t eps = std::min(bar0[n].size(), bar1[n].size());
+        imp.barrierEpisodes = eps;
+        for (std::size_t e = 0; e < eps; ++e) {
+            const double shift = ticksToCycles(bar1[n][e])
+                                 - ticksToCycles(bar0[n][e]);
+            imp.maxBarrierShiftCycles =
+                std::max(imp.maxBarrierShiftCycles, std::abs(shift));
+            if (std::abs(shift) > 1.0)
+                ++imp.barriersShifted;
+        }
+        if (imp.doneShiftCycles > 1.0)
+            ++rep.nodesShifted;
+        rep.nodes.push_back(imp);
+    }
+    return rep;
+}
+
+} // namespace alewife::obs

@@ -278,6 +278,12 @@ Proc::fireResume()
     if (program_.done()) {
         state_ = State::Done;
         program_.rethrowIfFailed();
+        // The machine's finish time is max over nodes of localNow_,
+        // which may have run ahead of this event's tick; report the
+        // run-ahead so trace analysis can reconstruct the finish.
+        if (hooks_)
+            hooks_->onProgramDone(
+                id_, localNow_ > t ? localNow_ - t : Tick{0});
     } else if (state_ == State::Running) {
         ALEWIFE_PANIC("program on node ", id_,
                       " suspended outside the processor model");

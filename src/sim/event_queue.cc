@@ -91,10 +91,16 @@ EventQueue::step()
         // Slot addresses are stable across addSlab, so `slot` stays
         // valid even if the callback grows the pool.
         slot.bumpGen();
+        if (dep_) [[unlikely]] {
+            curExec_ = e.seq;
+            dep_->onExecute(e.seq, e.when);
+        }
         slot.fn();
         slot.fn.reset();
         slot.nextFree = pool_->freeHead;
         pool_->freeHead = e.idx;
+        if (dep_) [[unlikely]]
+            curExec_ = DepListener::kNoParent;
         if (hooks_)
             hooks_->onEventExecuted(now_);
         return true;

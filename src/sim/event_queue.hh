@@ -75,6 +75,45 @@ inline constexpr std::size_t kEventCallbackBytes = 104;
 /** Callback type scheduled on the EventQueue. */
 using EventFn = sim::InlineFn<kEventCallbackBytes>;
 
+/**
+ * Observer of the kernel's event *dependency tree* (obs::CritPathRecorder).
+ *
+ * Every schedule() made while some event is executing is a child of that
+ * event: the simulation is single-threaded, so the (unique) parent of a
+ * scheduled event is simply the event whose callback is on the stack at
+ * schedule time. Because every blocking wait in the machine model is
+ * released by an explicit event (completeOp / recheckCond / resume), this
+ * tree is exactly the happens-before graph of one run. Sequence numbers
+ * are assigned monotonically at schedule time, so child seq > parent seq
+ * and a single forward pass over seq order is a valid topological replay.
+ *
+ * Detached cost is one predictable branch per schedule/execute. The
+ * parallel window engine does not route through this seam; an attached
+ * listener forces the serial kernel (Machine::parallelEligible).
+ */
+class DepListener
+{
+  public:
+    /** parentSeq for events scheduled outside any event (roots). */
+    static constexpr std::uint64_t kNoParent =
+        std::numeric_limits<std::uint64_t>::max();
+
+    virtual ~DepListener() = default;
+
+    /**
+     * A new event was scheduled. @p parentSeq is the seq of the event
+     * executing right now, or kNoParent for roots. @p now is schedule
+     * time, @p when the fire time (delta = when - now).
+     */
+    virtual void onSchedule(std::uint64_t seq, std::uint64_t parentSeq,
+                            Tick when, Tick now,
+                            const EventMeta &meta) = 0;
+
+    /** Event @p seq is about to execute at tick @p when. Cancelled
+     *  events never reach this. */
+    virtual void onExecute(std::uint64_t seq, Tick when) = 0;
+};
+
 namespace detail {
 
 /**
@@ -457,6 +496,16 @@ class EventQueue
     void setAuditHooks(check::Hooks *hooks) { hooks_ = hooks; }
 
     /**
+     * Attach the dependency-tree observer (at most one; null detaches).
+     * Incompatible with the parallel window engine: the machine falls
+     * back to the serial kernel while a listener is attached.
+     */
+    void setDepListener(DepListener *dep) { dep_ = dep; }
+
+    /** The attached dependency listener, or null. */
+    DepListener *depListener() const { return dep_; }
+
+    /**
      * Snapshot view of one live pending event (checkpoint capture).
      * `siteFile` is non-null only for untagged events.
      */
@@ -546,7 +595,11 @@ class EventQueue
             pri = (when == now_)
                       ? std::numeric_limits<std::uint64_t>::max()
                       : rng_.next();
-        heap_.push(Entry{when, pri, seq_++, gen, idx});
+        const std::uint64_t seq = seq_++;
+        if (dep_) [[unlikely]]
+            dep_->onSchedule(seq, curExec_, when, now_,
+                             pool_->slot(idx).meta);
+        heap_.push(Entry{when, pri, seq, gen, idx});
         return EventHandle(pool_, idx, gen);
     }
 
@@ -573,6 +626,11 @@ class EventQueue
     bool tieBreak_ = false;
     Rng rng_{0};
     check::Hooks *hooks_ = nullptr;
+    /** Dependency-tree observer, or null (the common case). */
+    DepListener *dep_ = nullptr;
+    /** Seq of the event whose callback is executing (parent of any
+     *  event scheduled from inside it); kNoParent between events. */
+    std::uint64_t curExec_ = DepListener::kNoParent;
     /** Attached parallel window engine, or null (serial operation). */
     sim::ParallelExec *par_ = nullptr;
     detail::PoolRef pool_;

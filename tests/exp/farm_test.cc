@@ -690,6 +690,29 @@ TEST(SweepEngineFarmTest, FarmedBatchMatchesInProcessBatch)
     EXPECT_TRUE(report.quarantined.empty());
 }
 
+TEST(SweepEngineFarmTest, ObservedBatchRejectsTheFarmDir)
+{
+    // Farm workers run obs-detached; combining a farm campaign with
+    // observability sinks is a hard configuration error, not a
+    // silent in-process fallback (the per-run files the caller asked
+    // for would otherwise just not exist on the workers).
+    TempDir tmp;
+    const FarmWorkload w = streamWorkload();
+    auto factory = makeWorkloadFactory(w);
+
+    std::vector<Job> batch(1);
+    batch[0].app = factory;
+    batch[0].spec.mechanism = core::Mechanism::SharedMemory;
+    batch[0].appKey = w.appKey();
+
+    EngineOptions fo;
+    fo.farmDir = (tmp.path / "farm").string();
+    fo.workload = w;
+    fo.obs.metricsOut = (tmp.path / "met.json").string();
+    SweepEngine engine(fo);
+    EXPECT_DEATH(engine.run(batch), "obs-detached");
+}
+
 TEST(SweepEngineFarmTest, UnfarmableBatchFallsBackInProcess)
 {
     // No FarmWorkload: the engine cannot serialize the jobs and must

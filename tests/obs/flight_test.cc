@@ -1,0 +1,151 @@
+/**
+ * @file
+ * FlightRecorder units: ring wraparound edges and dump formatting.
+ *
+ * recorder_test.cc pins the recorder's integration behavior (dump on
+ * invariant violation); this suite pins the ring itself — exact
+ * boundary behavior at capacity, one-past-capacity, and multiple
+ * wraps, the capacity clamp, retained-window numbering, and the dump
+ * header/record format downstream tooling greps for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hh"
+
+namespace alewife::obs {
+namespace {
+
+std::vector<std::string>
+lines(const FlightRecorder &f)
+{
+    std::ostringstream os;
+    f.dump(os);
+    std::vector<std::string> out;
+    std::string line;
+    std::istringstream in(os.str());
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(Flight, EmptyRingDumpsHeaderOnly)
+{
+    FlightRecorder f(8);
+    EXPECT_EQ(f.recorded(), 0u);
+    EXPECT_EQ(f.size(), 0u);
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 1u);
+    EXPECT_EQ(ls[0],
+              "flight recorder: 0 of 0 events retained (capacity 8)");
+}
+
+TEST(Flight, ExactlyFullRingRetainsEverythingInOrder)
+{
+    FlightRecorder f(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        f.push(i * 100, FlightRecorder::Kind::Hop, 2, 0x10 + i);
+    EXPECT_EQ(f.recorded(), 4u);
+    EXPECT_EQ(f.size(), 4u);
+
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 5u); // header + 4 records
+    // Oldest first, numbered from the first pushed event (index 0).
+    EXPECT_NE(ls[1].find("[     0]"), std::string::npos);
+    EXPECT_NE(ls[1].find("a=0x10"), std::string::npos);
+    EXPECT_NE(ls[4].find("[     3]"), std::string::npos);
+    EXPECT_NE(ls[4].find("a=0x13"), std::string::npos);
+}
+
+TEST(Flight, OnePastCapacityDropsExactlyTheOldest)
+{
+    FlightRecorder f(4);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        f.push(i, FlightRecorder::Kind::Hop, 0, 0x20 + i);
+    EXPECT_EQ(f.recorded(), 5u);
+    EXPECT_EQ(f.size(), 4u);
+
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 5u);
+    // Event 0 (a=0x20) is gone; window is events 1..4, oldest first.
+    std::ostringstream all;
+    for (const auto &l : ls)
+        all << l << "\n";
+    EXPECT_EQ(all.str().find("a=0x20 "), std::string::npos);
+    EXPECT_NE(ls[1].find("[     1]"), std::string::npos);
+    EXPECT_NE(ls[1].find("a=0x21"), std::string::npos);
+    EXPECT_NE(ls[4].find("[     4]"), std::string::npos);
+    EXPECT_NE(ls[4].find("a=0x24"), std::string::npos);
+}
+
+TEST(Flight, ManyWrapsKeepTheLastWindowWithGlobalNumbering)
+{
+    FlightRecorder f(3);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        f.push(i, FlightRecorder::Kind::ProtoSend, 1, i);
+    EXPECT_EQ(f.recorded(), 100u);
+    EXPECT_EQ(f.size(), 3u);
+
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 4u);
+    EXPECT_EQ(ls[0],
+              "flight recorder: 3 of 100 events retained (capacity 3)");
+    EXPECT_NE(ls[1].find("[    97]"), std::string::npos);
+    EXPECT_NE(ls[1].find("a=0x61"), std::string::npos); // 97
+    EXPECT_NE(ls[3].find("[    99]"), std::string::npos);
+    EXPECT_NE(ls[3].find("a=0x63"), std::string::npos); // 99
+}
+
+TEST(Flight, ZeroCapacityClampsToOne)
+{
+    FlightRecorder f(0);
+    f.push(100, FlightRecorder::Kind::TxnOpen, 7, 0xaa);
+    f.push(200, FlightRecorder::Kind::TxnClose, 7, 0xbb);
+    EXPECT_EQ(f.recorded(), 2u);
+    EXPECT_EQ(f.size(), 1u);
+
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 2u);
+    EXPECT_EQ(ls[0],
+              "flight recorder: 1 of 2 events retained (capacity 1)");
+    EXPECT_NE(ls[1].find("txn-close"), std::string::npos);
+    EXPECT_NE(ls[1].find("a=0xbb"), std::string::npos);
+}
+
+TEST(Flight, RecordFormatCarriesCyclesNodeKindAndOperands)
+{
+    FlightRecorder f(2);
+    // tick 12345 = 123.45 cycles; dump prints cycles.
+    f.push(12345, FlightRecorder::Kind::CacheFill, 13, 0x40, 0x2);
+    const auto ls = lines(f);
+    ASSERT_EQ(ls.size(), 2u);
+    EXPECT_NE(ls[1].find("cyc"), std::string::npos);
+    EXPECT_NE(ls[1].find("123.45"), std::string::npos);
+    EXPECT_NE(ls[1].find("node  13"), std::string::npos);
+    EXPECT_NE(ls[1].find("cache-fill"), std::string::npos);
+    EXPECT_NE(ls[1].find("a=0x40"), std::string::npos);
+    EXPECT_NE(ls[1].find("b=0x2"), std::string::npos);
+}
+
+TEST(Flight, EveryKindHasADistinctName)
+{
+    // kindName is the grep key in dumps; keep names unique and bound.
+    std::vector<std::string> names;
+    for (int k = 0;
+         k <= static_cast<int>(FlightRecorder::Kind::RecallHonored);
+         ++k) {
+        const std::string n = FlightRecorder::kindName(
+            static_cast<FlightRecorder::Kind>(k));
+        EXPECT_NE(n, "?") << "kind " << k << " missing a name";
+        for (const auto &seen : names)
+            EXPECT_NE(n, seen) << "duplicate kind name " << n;
+        names.push_back(n);
+    }
+}
+
+} // namespace
+} // namespace alewife::obs
